@@ -1,0 +1,137 @@
+// Command flashsim replays a block-level trace file (MSR Cambridge CSV
+// or the simple "R|W offset size" text format) through a simulated 3D
+// charge-trap NAND device under a chosen FTL strategy and reports the
+// access-latency and garbage-collection statistics.
+//
+// Usage:
+//
+//	flashsim -ftl ppb -trace websql.csv [-format msr] [-gb 4] \
+//	         [-ratio 2] [-pagesize 16384] [-prefill]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ppbflash"
+	"ppbflash/internal/trace"
+)
+
+func main() {
+	var (
+		ftlName  = flag.String("ftl", "ppb", "conventional, ppb, greedy-speed or hotcold-split")
+		path     = flag.String("trace", "", "trace file to replay (required)")
+		format   = flag.String("format", "msr", "trace format: msr or simple")
+		gb       = flag.Float64("gb", 4, "device capacity in GiB (Table 1 geometry, scaled)")
+		ratio    = flag.Float64("ratio", 2, "bottom/top page speed ratio (paper: 2-5)")
+		pageSize = flag.Int("pagesize", 16<<10, "page size in bytes")
+		prefill  = flag.Bool("prefill", true, "write the whole logical space before replay")
+		disk     = flag.Int("disk", -1, "replay only this MSR disk number (-1 = all)")
+	)
+	flag.Parse()
+	if *path == "" {
+		fmt.Fprintln(os.Stderr, "flashsim: -trace is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	reqs, err := loadTrace(*path, *format, *disk)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(reqs) == 0 {
+		fmt.Fprintln(os.Stderr, "flashsim: trace is empty")
+		os.Exit(1)
+	}
+
+	divisor := int(64.0 / *gb)
+	if divisor < 1 {
+		divisor = 1
+	}
+	cfg := ppbflash.TableOneConfig().Scaled(divisor).WithSpeedRatio(*ratio)
+	if *pageSize != cfg.PageSize {
+		cfg = cfg.WithPageSize(*pageSize)
+	}
+
+	res, err := ppbflash.Run(ppbflash.RunSpec{
+		Name:    *path,
+		Device:  cfg,
+		Kind:    ppbflash.FTLKind(*ftlName),
+		Prefill: *prefill,
+		Workload: func(logicalBytes uint64) ppbflash.Generator {
+			return replayGenerator(reqs, logicalBytes)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("device: %.1f GiB, %d KB pages, ratio %.0fx, %s FTL\n",
+		float64(cfg.TotalBytes())/(1<<30), cfg.PageSize>>10, cfg.SpeedRatio, *ftlName)
+	fmt.Printf("host:   %d page reads (%d unmapped), %d page writes\n",
+		res.HostReadPages, res.UnmappedReads, res.HostWritePage)
+	fmt.Printf("time:   read total %v, write total %v\n", res.ReadTotal, res.WriteTotal)
+	fmt.Printf("gc:     %d erases, %d copies, WAF %.2f\n", res.Erases, res.GCCopies, res.WAF)
+	fmt.Printf("layout: %.1f%% of host reads served from fast pages\n", res.FastReadShare*100)
+	if res.Kind == ppbflash.KindPPB {
+		fmt.Printf("ppb:    %d migrations, %d diversions, %d demotions\n",
+			res.Migrations, res.Diversions, res.Demotions)
+	}
+}
+
+func loadTrace(path, format string, disk int) ([]ppbflash.Request, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch format {
+	case "msr":
+		r := trace.NewMSRReader(f)
+		if disk >= 0 {
+			r.FilterDisk(disk)
+		}
+		return r.ReadAll()
+	case "simple":
+		return trace.ParseSimple(f)
+	default:
+		return nil, fmt.Errorf("flashsim: unknown format %q", format)
+	}
+}
+
+// replayGenerator adapts a request slice to the Generator interface,
+// wrapping offsets into the device's logical space.
+func replayGenerator(reqs []ppbflash.Request, logicalBytes uint64) ppbflash.Generator {
+	i := 0
+	return &wrapGen{
+		name:  "replay",
+		bytes: logicalBytes,
+		next: func() (ppbflash.Request, bool) {
+			if i >= len(reqs) {
+				return ppbflash.Request{}, false
+			}
+			r := reqs[i]
+			i++
+			if uint64(r.Size) > logicalBytes {
+				r.Size = uint32(logicalBytes)
+			}
+			if r.End() > logicalBytes {
+				r.Offset = r.Offset % (logicalBytes - uint64(r.Size) + 1)
+			}
+			return r, true
+		},
+	}
+}
+
+type wrapGen struct {
+	name  string
+	bytes uint64
+	next  func() (ppbflash.Request, bool)
+}
+
+func (w *wrapGen) Name() string                   { return w.name }
+func (w *wrapGen) LogicalBytes() uint64           { return w.bytes }
+func (w *wrapGen) Next() (ppbflash.Request, bool) { return w.next() }

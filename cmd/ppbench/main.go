@@ -1,0 +1,84 @@
+// Command ppbench regenerates the paper's evaluation artifacts: every
+// figure of the DAC'17 PPB paper plus this reproduction's motivation
+// study and ablations.
+//
+// Usage:
+//
+//	ppbench [-fig all|3|12|13|14|15|16|17|18|a1|a2|a3] [-scale quick|bench|paper]
+//	        [-divisor N] [-turnover F] [-seed N]
+//
+// Examples:
+//
+//	ppbench                       # all experiments at bench scale
+//	ppbench -fig 12 -scale quick  # just Figure 12, CI-sized
+//	ppbench -scale paper          # full 64 GB Table 1 device (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ppbflash"
+)
+
+func main() {
+	var (
+		figFlag      = flag.String("fig", "all", "experiment id (3, 12-18, a1-a3) or 'all'")
+		scaleFlag    = flag.String("scale", "bench", "preset scale: quick, bench or paper")
+		divisorFlag  = flag.Int("divisor", 0, "override device divisor (1 = full 64 GB)")
+		turnoverFlag = flag.Float64("turnover", 0, "override write turnover multiple")
+		seedFlag     = flag.Int64("seed", 0, "override workload seed")
+	)
+	flag.Parse()
+
+	scale, err := pickScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *divisorFlag > 0 {
+		scale.DeviceDivisor = *divisorFlag
+	}
+	if *turnoverFlag > 0 {
+		scale.WriteTurnover = *turnoverFlag
+	}
+	if *seedFlag != 0 {
+		scale.Seed = *seedFlag
+	}
+
+	fmt.Println(ppbflash.TableOne().Table)
+	fmt.Printf("scale: divisor=%d (device %.1f GB), turnover=%.1fx, seed=%d\n\n",
+		scale.DeviceDivisor,
+		float64(scale.DeviceConfig(16<<10, 2).TotalBytes())/float64(1<<30),
+		scale.WriteTurnover, scale.Seed)
+
+	ids := ppbflash.ExperimentIDs()
+	if *figFlag != "all" {
+		ids = []string{*figFlag}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		fig, err := ppbflash.Experiment(id, scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(fig.Table)
+		fmt.Printf("  [%s in %v]\n\n", fig.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func pickScale(name string) (ppbflash.Scale, error) {
+	switch name {
+	case "quick":
+		return ppbflash.QuickScale, nil
+	case "bench":
+		return ppbflash.BenchScale, nil
+	case "paper":
+		return ppbflash.PaperScale, nil
+	default:
+		return ppbflash.Scale{}, fmt.Errorf("ppbench: unknown scale %q (want quick, bench or paper)", name)
+	}
+}

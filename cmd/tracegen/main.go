@@ -1,0 +1,98 @@
+// Command tracegen emits the synthetic MSR-Cambridge-style traces used
+// by this reproduction (the stand-ins for the paper's "media server" and
+// "web/SQL" traces) in either MSR CSV or the simple text format, so they
+// can be inspected, archived, or replayed through cmd/flashsim.
+//
+// Usage:
+//
+//	tracegen -workload websql -requests 100000 -logical-mb 1024 \
+//	         -format msr -o websql.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ppbflash"
+	"ppbflash/internal/trace"
+	"ppbflash/internal/workload"
+)
+
+func main() {
+	var (
+		wlName   = flag.String("workload", "websql", "websql, mediaserver or uniform")
+		requests = flag.Int("requests", 100_000, "number of requests to emit")
+		logical  = flag.Int64("logical-mb", 1024, "logical disk size in MiB")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		format   = flag.String("format", "msr", "output format: msr or simple")
+		out      = flag.String("o", "-", "output file ('-' = stdout)")
+	)
+	flag.Parse()
+
+	gen, err := buildGenerator(*wlName, uint64(*logical)<<20, *requests, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	reqs := collect(gen)
+	switch *format {
+	case "msr":
+		err = trace.WriteMSR(w, gen.Name(), 0, reqs)
+	case "simple":
+		err = trace.WriteSimple(w, reqs)
+	default:
+		err = fmt.Errorf("tracegen: unknown format %q", *format)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st := trace.Summarize(reqs)
+	fmt.Fprintf(os.Stderr, "tracegen: %d requests (%.0f%% reads), %.1f MiB read, %.1f MiB written, span %.1f MiB\n",
+		st.Requests, st.ReadRatio()*100,
+		float64(st.ReadBytes)/(1<<20), float64(st.WriteBytes)/(1<<20), float64(st.MaxEnd)/(1<<20))
+}
+
+func buildGenerator(name string, logicalBytes uint64, requests int, seed int64) (ppbflash.Generator, error) {
+	switch name {
+	case "websql", "web":
+		return ppbflash.NewWebSQL(ppbflash.WebSQLConfig{
+			LogicalBytes: logicalBytes, Requests: requests, Seed: seed,
+		}), nil
+	case "mediaserver", "media":
+		return ppbflash.NewMediaServer(ppbflash.MediaServerConfig{
+			LogicalBytes: logicalBytes, Requests: requests, Seed: seed,
+		}), nil
+	case "uniform":
+		return workload.NewUniform(workload.UniformConfig{
+			LogicalBytes: logicalBytes, Requests: requests, Seed: seed,
+		}), nil
+	default:
+		return nil, fmt.Errorf("tracegen: unknown workload %q (want websql, mediaserver or uniform)", name)
+	}
+}
+
+func collect(g ppbflash.Generator) []ppbflash.Request {
+	var out []ppbflash.Request
+	for {
+		r, ok := g.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}

@@ -1,0 +1,53 @@
+// Media-server scenario: large write-once-read-many files with Zipf
+// popularity, bulk ingest, and hot filesystem metadata. Shows the cold
+// side of PPB: popular (write-once-read-many) data is progressively
+// migrated to fast pages during garbage collection while backup-like
+// icy-cold data stays on slow pages.
+//
+//	go run ./examples/mediaserver
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ppbflash"
+)
+
+func main() {
+	scale := ppbflash.Scale{DeviceDivisor: 32, WriteTurnover: 2, Seed: 1}
+	dev := scale.DeviceConfig(16<<10, 2.0)
+
+	workload := func(logicalBytes uint64) ppbflash.Generator {
+		return ppbflash.NewMediaServer(ppbflash.MediaServerConfig{
+			LogicalBytes: logicalBytes,
+			Requests:     200_000,
+			Seed:         scale.Seed,
+		})
+	}
+
+	fmt.Println("replaying the media-server trace (conventional, then PPB)...")
+	var results []ppbflash.RunResult
+	for _, kind := range []ppbflash.FTLKind{ppbflash.KindConventional, ppbflash.KindPPB} {
+		res, err := ppbflash.Run(ppbflash.RunSpec{
+			Name:     "media/" + string(kind),
+			Device:   dev,
+			Kind:     kind,
+			Workload: workload,
+			Prefill:  true, // the library exists before the trace starts
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, res)
+		fmt.Printf("  %-13s read total %v  write total %v  erases %d  WAF %.2f\n",
+			kind, res.ReadTotal, res.WriteTotal, res.Erases, res.WAF)
+	}
+
+	conv, ppb := results[0], results[1]
+	fmt.Printf("\nread enhancement: %.2f%%\n",
+		(1-ppb.ReadTotal.Seconds()/conv.ReadTotal.Seconds())*100)
+	fmt.Println("\nmedia data migrates only when garbage collection touches its")
+	fmt.Println("blocks (progressive migration), so the media-server gain is")
+	fmt.Println("smaller than web/SQL's - the same ordering the paper reports.")
+}

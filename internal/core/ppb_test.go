@@ -1,0 +1,543 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ppbflash/internal/ftl"
+	"ppbflash/internal/hotness"
+	"ppbflash/internal/nand"
+)
+
+// testConfig: 8 pages/block over 4 layers, 96 blocks, 2x ratio. PPB
+// keeps up to two open blocks per allocation pool, so tiny devices need
+// proportionally more blocks than the baseline FTL tests use.
+func testConfig() nand.Config {
+	return nand.Config{
+		PageSize:            4096,
+		PagesPerBlock:       8,
+		BlocksPerChip:       96,
+		Chips:               1,
+		Layers:              4,
+		SpeedRatio:          2,
+		ReadLatency:         40 * time.Microsecond,
+		ProgramLatency:      400 * time.Microsecond,
+		EraseLatency:        4 * time.Millisecond,
+		TransferBytesPerSec: 512e6,
+	}
+}
+
+// testOptions gives small test devices enough over-provisioning slack
+// for the five-pool pipeline.
+func testOptions() Options {
+	return Options{FTL: ftl.Options{OverProvision: 0.2}}
+}
+
+func newPPB(t *testing.T, cfg nand.Config, opt Options) *PPB {
+	t.Helper()
+	p, err := New(nand.MustNewDevice(cfg), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const (
+	coldSize = 64 * 1024 // size-check cold
+	hotSize  = 512       // size-check hot
+)
+
+func TestOptionsDefaults(t *testing.T) {
+	p := newPPB(t, testConfig(), Options{})
+	if p.SplitFactor() != 2 {
+		t.Errorf("split = %d, want 2", p.SplitFactor())
+	}
+	if p.opt.Identifier == nil || p.opt.Identifier.Name() != "size-check" {
+		t.Error("default identifier should be size-check")
+	}
+	if p.opt.HotListEntries < 64 || p.opt.ColdTableEntries < 256 {
+		t.Errorf("capacities = %d/%d", p.opt.HotListEntries, p.opt.ColdTableEntries)
+	}
+	if p.opt.ColdPromoteReads != 2 {
+		t.Errorf("promote reads = %d", p.opt.ColdPromoteReads)
+	}
+	if p.opt.StaleWindow != uint64(p.opt.HotListEntries)*4 {
+		t.Errorf("stale window = %d", p.opt.StaleWindow)
+	}
+	if p.Name() != "ppb" {
+		t.Error("name")
+	}
+}
+
+func TestNewRejectsBadOptions(t *testing.T) {
+	dev := nand.MustNewDevice(testConfig())
+	if _, err := New(dev, Options{SplitFactor: 3}); err == nil {
+		t.Error("odd split factor accepted")
+	}
+	if _, err := New(dev, Options{FTL: ftl.Options{OverProvision: -1}}); err == nil {
+		t.Error("bad FTL options accepted")
+	}
+}
+
+func TestReadYourWritesBasic(t *testing.T) {
+	p := newPPB(t, testConfig(), testOptions())
+	for lpn := uint64(0); lpn < 60; lpn++ {
+		size := hotSize
+		if lpn%2 == 0 {
+			size = coldSize
+		}
+		if err := p.Write(lpn, size); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for lpn := uint64(0); lpn < 60; lpn++ {
+		mapped, err := p.Read(lpn)
+		if err != nil || !mapped {
+			t.Fatalf("read %d: %v %v", lpn, mapped, err)
+		}
+	}
+	if err := p.CheckMapping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckAreaPurity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFirstStageRouting(t *testing.T) {
+	p := newPPB(t, testConfig(), testOptions())
+	// Small write -> hot area, entry level Hot -> slow pages of hot block.
+	if err := p.Write(1, hotSize); err != nil {
+		t.Fatal(err)
+	}
+	if lvl := p.currentLevel(1, 255); lvl != hotness.Hot {
+		t.Errorf("small write level = %v, want hot", lvl)
+	}
+	// Large write -> cold area, entry level IcyCold.
+	if err := p.Write(2, coldSize); err != nil {
+		t.Fatal(err)
+	}
+	if lvl := p.currentLevel(2, 255); lvl != hotness.IcyCold {
+		t.Errorf("large write level = %v, want icy-cold", lvl)
+	}
+	st := p.PPBStats()
+	if st.LevelWrites[hotness.Hot].Value() != 1 || st.LevelWrites[hotness.IcyCold].Value() != 1 {
+		t.Errorf("level writes = %v", st.LevelWrites)
+	}
+}
+
+func TestPromotionOnRead(t *testing.T) {
+	p := newPPB(t, testConfig(), testOptions())
+	if err := p.Write(1, hotSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	if lvl := p.currentLevel(1, 255); lvl != hotness.IronHot {
+		t.Errorf("after read: %v, want iron-hot", lvl)
+	}
+	// Cold data: two reads promote icy-cold -> cold.
+	if err := p.Write(2, coldSize); err != nil {
+		t.Fatal(err)
+	}
+	p.Read(2)
+	if lvl := p.currentLevel(2, 255); lvl != hotness.IcyCold {
+		t.Errorf("after 1 read: %v, want icy-cold", lvl)
+	}
+	p.Read(2)
+	if lvl := p.currentLevel(2, 255); lvl != hotness.Cold {
+		t.Errorf("after 2 reads: %v, want cold", lvl)
+	}
+}
+
+func TestReadsNeverMoveData(t *testing.T) {
+	p := newPPB(t, testConfig(), testOptions())
+	if err := p.Write(1, hotSize); err != nil {
+		t.Fatal(err)
+	}
+	programsBefore := p.Device().Stats().Programs.Value()
+	ppnBefore, _ := p.Map().Lookup(1)
+	for i := 0; i < 50; i++ {
+		if _, err := p.Read(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.Device().Stats().Programs.Value(); got != programsBefore {
+		t.Errorf("reads caused %d programs; migration must be progressive", got-programsBefore)
+	}
+	if ppnNow, _ := p.Map().Lookup(1); ppnNow != ppnBefore {
+		t.Error("read moved the page")
+	}
+}
+
+func TestProgressiveMigrationOnUpdate(t *testing.T) {
+	p := newPPB(t, testConfig(), testOptions())
+	// Write hot data; it lands in the slow half (entry level Hot).
+	if err := p.Write(1, hotSize); err != nil {
+		t.Fatal(err)
+	}
+	ppn, _ := p.Map().Lookup(1)
+	_, page := p.Config().SplitPPN(ppn)
+	if page >= p.Config().PagesPerBlock/2 {
+		t.Fatalf("fresh hot write landed in fast half (page %d)", page)
+	}
+	// Promote to iron-hot, then update: the new copy must go fast.
+	if _, err := p.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the slow hot VB so a fast VB becomes openable.
+	for lpn := uint64(10); lpn < 14; lpn++ {
+		if err := p.Write(lpn, hotSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Write(1, hotSize); err != nil {
+		t.Fatal(err)
+	}
+	ppn, _ = p.Map().Lookup(1)
+	_, page = p.Config().SplitPPN(ppn)
+	if page < p.Config().PagesPerBlock/2 {
+		t.Errorf("iron-hot update landed in slow half (page %d)", page)
+	}
+	if p.PPBStats().Migrations.Value() == 0 {
+		t.Error("migration not counted")
+	}
+}
+
+func TestIronStarvationDemotesInsteadOfSlowPlacement(t *testing.T) {
+	p := newPPB(t, testConfig(), testOptions())
+	// Promote lpn 1 to iron-hot while the hot slow VB is NOT yet full:
+	// no fast VB is ready, so per Figure 10b II the update demotes the
+	// chunk to the hot list rather than parking iron-hot data on a slow
+	// page (or failing).
+	if err := p.Write(1, hotSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Write(1, hotSize); err != nil {
+		t.Fatal(err)
+	}
+	if p.PPBStats().FastFullDemotions.Value() == 0 {
+		t.Error("expected a fast-full demotion (Figure 10b II)")
+	}
+	if lvl := p.currentLevel(1, 255); lvl != hotness.Hot {
+		t.Errorf("after starved update: %v, want hot", lvl)
+	}
+	if err := p.CheckAreaPurity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAreaPurityUnderChurn(t *testing.T) {
+	p := newPPB(t, testConfig(), testOptions())
+	rng := rand.New(rand.NewSource(5))
+	span := int64(p.LogicalPages())
+	for i := 0; i < 5000; i++ {
+		lpn := uint64(rng.Int63n(span))
+		size := hotSize
+		if rng.Intn(3) > 0 {
+			size = coldSize
+		}
+		if err := p.Write(lpn, size); err != nil {
+			t.Fatal(err)
+		}
+		if rng.Intn(4) == 0 {
+			if _, err := p.Read(uint64(rng.Int63n(span))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if p.Stats().GCErases.Value() == 0 {
+		t.Fatal("churn did not trigger GC")
+	}
+	if err := p.CheckAreaPurity(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckMapping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Device().CheckAccounting(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGCMigratesColdPopularDataToFastPages(t *testing.T) {
+	cfg := testConfig()
+	p := newPPB(t, cfg, testOptions())
+	// Write a popular cold chunk and promote it via reads.
+	if err := p.Write(0, coldSize); err != nil {
+		t.Fatal(err)
+	}
+	p.Read(0)
+	p.Read(0)
+	p.Read(0)
+	if lvl := p.currentLevel(0, 255); lvl != hotness.Cold {
+		t.Fatalf("level = %v", lvl)
+	}
+	// Churn other cold data until GC relocates lpn 0. A fifth of the
+	// churned pages are read once (warm icy): they fill the slow halves
+	// of the stable library blocks whose fast halves serve cold data.
+	rng := rand.New(rand.NewSource(9))
+	span := int64(p.LogicalPages())
+	for i := 0; i < 20000; i++ {
+		lpn := uint64(1 + rng.Int63n(span-1))
+		if err := p.Write(lpn, coldSize); err != nil {
+			t.Fatal(err)
+		}
+		if rng.Intn(5) == 0 {
+			if _, err := p.Read(lpn); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Keep lpn 0 popular in the frequency table.
+		if i%500 == 0 {
+			p.Read(0)
+		}
+	}
+	if p.Stats().GCErases.Value() == 0 {
+		t.Skip("no GC at this scale")
+	}
+	ppn, ok := p.Map().Lookup(0)
+	if !ok {
+		t.Fatal("lpn 0 lost")
+	}
+	_, page := cfg.SplitPPN(ppn)
+	if page < cfg.PagesPerBlock/2 {
+		t.Errorf("popular cold data still on slow page %d after %d erases",
+			page, p.Stats().GCErases.Value())
+	}
+}
+
+func TestStaleHotDataDemotedAtGC(t *testing.T) {
+	opt := testOptions()
+	opt.StaleWindow = 10
+	p := newPPB(t, testConfig(), opt)
+	// One hot write that then goes untouched.
+	if err := p.Write(0, hotSize); err != nil {
+		t.Fatal(err)
+	}
+	// Churn elsewhere (hot, to keep lpn 0's block hot-area) until GC
+	// relocates lpn 0 and notices it is stale.
+	rng := rand.New(rand.NewSource(4))
+	span := int64(p.LogicalPages())
+	for i := 0; i < 12000; i++ {
+		lpn := uint64(1 + rng.Int63n(span-1))
+		if err := p.Write(lpn, hotSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.PPBStats().StaleDemotions.Value() == 0 {
+		t.Error("no stale demotion despite untouched hot chunk and heavy GC")
+	}
+	if lvl := p.currentLevel(0, uint8(hotness.Hot)); lvl.HotArea() {
+		// lpn 0 may have been evicted from the hot list by capacity
+		// pressure instead — that also removes it from the hot area.
+		t.Errorf("stale chunk still tracked hot: %v", lvl)
+	}
+}
+
+func TestHotListOverflowDemotesToColdArea(t *testing.T) {
+	opt := testOptions()
+	opt.HotListEntries, opt.IronListEntries = 4, 4
+	p := newPPB(t, testConfig(), opt)
+	for lpn := uint64(0); lpn < 12; lpn++ {
+		if err := p.Write(lpn, hotSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.PPBStats().Demotions.Value() == 0 {
+		t.Error("hot list overflow should demote entries to the cold area")
+	}
+	if lvl := p.currentLevel(0, 255); lvl.HotArea() {
+		t.Errorf("oldest entry should have left the hot area, got %v", lvl)
+	}
+}
+
+func TestColdRewriteReclassifiedByIdentifier(t *testing.T) {
+	p := newPPB(t, testConfig(), testOptions())
+	if err := p.Write(1, coldSize); err != nil {
+		t.Fatal(err)
+	}
+	if lvl := p.currentLevel(1, 255); lvl != hotness.IcyCold {
+		t.Fatal("setup")
+	}
+	// A small rewrite of cold data signals hotness: size check reroutes.
+	if err := p.Write(1, hotSize); err != nil {
+		t.Fatal(err)
+	}
+	if lvl := p.currentLevel(1, 255); lvl != hotness.Hot {
+		t.Errorf("rewritten cold chunk = %v, want hot", lvl)
+	}
+}
+
+func TestCustomIdentifier(t *testing.T) {
+	opt := testOptions()
+	opt.Identifier = hotness.Static{Result: hotness.AreaCold}
+	p := newPPB(t, testConfig(), opt)
+	if err := p.Write(1, hotSize); err != nil {
+		t.Fatal(err)
+	}
+	if lvl := p.currentLevel(1, 255); lvl.HotArea() {
+		t.Errorf("static-cold identifier ignored: %v", lvl)
+	}
+}
+
+func TestSplitFactorFour(t *testing.T) {
+	cfg := testConfig() // 8 pages/block: k=4 -> 2 pages per part
+	opt := testOptions()
+	opt.SplitFactor = 4
+	p := newPPB(t, cfg, opt)
+	rng := rand.New(rand.NewSource(11))
+	span := int64(p.LogicalPages())
+	for i := 0; i < 4000; i++ {
+		lpn := uint64(rng.Int63n(span))
+		size := hotSize
+		if rng.Intn(2) == 0 {
+			size = coldSize
+		}
+		if err := p.Write(lpn, size); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.CheckAreaPurity(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckMapping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmappedReadCounted(t *testing.T) {
+	p := newPPB(t, testConfig(), testOptions())
+	mapped, err := p.Read(9)
+	if err != nil || mapped {
+		t.Fatalf("unmapped read: %v %v", mapped, err)
+	}
+	if p.Stats().UnmappedReads.Value() != 1 {
+		t.Error("not counted")
+	}
+}
+
+func TestLevelReadCounters(t *testing.T) {
+	p := newPPB(t, testConfig(), testOptions())
+	if err := p.Write(1, hotSize); err != nil {
+		t.Fatal(err)
+	}
+	p.Read(1)
+	if p.PPBStats().LevelReads[hotness.Hot].Value() != 1 {
+		t.Error("hot-tagged read not counted")
+	}
+}
+
+// Property: arbitrary interleavings of reads/writes keep every PPB
+// invariant: mapping integrity, area purity, device accounting, and
+// "reads never program".
+func TestPropertyPPBInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		dev := nand.MustNewDevice(testConfig())
+		opt := testOptions()
+		opt.HotListEntries, opt.IronListEntries = 16, 16
+		p, err := New(dev, opt)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		span := int64(p.LogicalPages())
+		written := make(map[uint64]bool)
+		for i := 0; i < 1500; i++ {
+			lpn := uint64(rng.Int63n(span))
+			if rng.Intn(3) == 0 {
+				before := dev.Stats().Programs.Value()
+				mapped, err := p.Read(lpn)
+				if err != nil {
+					t.Logf("read: %v", err)
+					return false
+				}
+				if mapped != written[lpn] {
+					t.Logf("mapped=%v written=%v lpn=%d", mapped, written[lpn], lpn)
+					return false
+				}
+				if dev.Stats().Programs.Value() != before {
+					t.Log("read programmed a page")
+					return false
+				}
+			} else {
+				size := []int{512, 4096, coldSize}[rng.Intn(3)]
+				if err := p.Write(lpn, size); err != nil {
+					t.Logf("write: %v", err)
+					return false
+				}
+				written[lpn] = true
+			}
+		}
+		if err := p.CheckMapping(); err != nil {
+			t.Log(err)
+			return false
+		}
+		if err := p.CheckAreaPurity(); err != nil {
+			t.Log(err)
+			return false
+		}
+		return dev.CheckAccounting() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteParityWithConventional encodes DESIGN.md invariant 6: PPB's
+// total write-path time stays within a percent of the conventional FTL,
+// because both fill every block's full fast/slow page spectrum.
+func TestWriteParityWithConventional(t *testing.T) {
+	cfg := testConfig()
+	cfg.BlocksPerChip = 256 // parity needs room for steady state
+	run := func(build func(dev *nand.Device) ftl.FTL) *ftl.Stats {
+		dev := nand.MustNewDevice(cfg)
+		f := build(dev)
+		rng := rand.New(rand.NewSource(21))
+		span := int64(f.LogicalPages())
+		for i := 0; i < 15000; i++ {
+			lpn := uint64(rng.Int63n(span))
+			size := hotSize
+			if rng.Intn(3) > 0 {
+				size = coldSize
+			}
+			if err := f.Write(lpn, size); err != nil {
+				t.Fatal(err)
+			}
+			if rng.Intn(4) == 0 {
+				f.Read(uint64(rng.Int63n(span)))
+			}
+		}
+		return f.Stats()
+	}
+	conv := run(func(dev *nand.Device) ftl.FTL {
+		f, err := ftl.NewConventional(dev, ftl.Options{OverProvision: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	})
+	ppb := run(func(dev *nand.Device) ftl.FTL {
+		f, err := New(dev, testOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	})
+	if conv.GCErases.Value() == 0 {
+		t.Fatal("no GC; parity test needs steady state")
+	}
+	// Tight parity holds at realistic scale (see the harness bench-scale
+	// diagnostics); the tiny property-test device leaves PPB's per-pool
+	// pipelines a proportionally larger footprint, so allow a wider band.
+	ratio := float64(ppb.WriteTotal()) / float64(conv.WriteTotal())
+	if ratio < 0.75 || ratio > 1.35 {
+		t.Errorf("write totals diverge: ppb/conventional = %.3f", ratio)
+	}
+}

@@ -1,0 +1,152 @@
+package ftl
+
+import (
+	"fmt"
+
+	"ppbflash/internal/nand"
+)
+
+// Base carries the machinery every FTL in this package shares: the
+// device, the mapping table, stats, options, and victim selection.
+type Base struct {
+	dev   *nand.Device
+	cfg   nand.Config
+	opts  Options
+	table *Mapping
+	stats Stats
+}
+
+// NewBase validates the options and builds the shared state for an FTL
+// over dev. Strategy packages (internal/core) embed the result.
+func NewBase(dev *nand.Device, opts Options) (Base, error) {
+	cfg := dev.Config()
+	opts = opts.withDefaults(cfg)
+	if err := opts.Validate(cfg); err != nil {
+		return Base{}, err
+	}
+	logical := LogicalPagesFor(cfg, opts.OverProvision)
+	if logical == 0 {
+		return Base{}, fmt.Errorf("ftl: no logical space (over-provision %g on %d pages)",
+			opts.OverProvision, cfg.TotalPages())
+	}
+	return Base{dev: dev, cfg: cfg, opts: opts, table: NewMapping(logical)}, nil
+}
+
+// Stats implements FTL.
+func (b *Base) Stats() *Stats { return &b.stats }
+
+// Device implements FTL.
+func (b *Base) Device() *nand.Device { return b.dev }
+
+// LogicalPages implements FTL.
+func (b *Base) LogicalPages() uint64 { return b.table.Pages() }
+
+// Config returns the device geometry the FTL was built over.
+func (b *Base) Config() nand.Config { return b.cfg }
+
+// Opts returns the effective (defaulted) options.
+func (b *Base) Opts() Options { return b.opts }
+
+// Map returns the logical-to-physical mapping table.
+func (b *Base) Map() *Mapping { return b.table }
+
+// ReadMapped serves a host read of lpn, attributing cost and the
+// fast/slow placement split. Returns false when unmapped.
+func (b *Base) ReadMapped(lpn uint64) (bool, error) {
+	if !b.table.InRange(lpn) {
+		return false, fmt.Errorf("ftl: read of lpn %d beyond logical space %d", lpn, b.table.Pages())
+	}
+	ppn, ok := b.table.Lookup(lpn)
+	if !ok {
+		b.stats.UnmappedReads.Inc()
+		return false, nil
+	}
+	oob, cost, err := b.dev.Read(ppn)
+	if err != nil {
+		return false, err
+	}
+	if oob.LPN != lpn {
+		return false, fmt.Errorf("ftl: mapping corruption: lpn %d mapped to page holding %d", lpn, oob.LPN)
+	}
+	b.stats.HostReads.Inc()
+	b.stats.ReadLatency.Observe(cost)
+	_, page := b.cfg.SplitPPN(ppn)
+	if page >= b.cfg.PagesPerBlock/2 {
+		b.stats.FastReads.Inc()
+	} else {
+		b.stats.SlowReads.Inc()
+	}
+	return true, nil
+}
+
+// CheckWrite validates the target of a host write.
+func (b *Base) CheckWrite(lpn uint64) error {
+	if !b.table.InRange(lpn) {
+		return fmt.Errorf("ftl: write of lpn %d beyond logical space %d", lpn, b.table.Pages())
+	}
+	return nil
+}
+
+// InvalidateOld drops the previous physical page of lpn, if any.
+func (b *Base) InvalidateOld(lpn uint64) error {
+	if old, had := b.table.Lookup(lpn); had {
+		if err := b.dev.Invalidate(old); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// victimPolicy picks GC victims by the classic cost-benefit score
+// (Kawaguchi et al.): benefit = reclaimed space x age, cost = copying the
+// remaining valid pages. Age lets blocks whose data is still dying finish
+// dying before they are collected, which matters for workloads with
+// sequential overwrite patterns. Blocks the exclude callback rejects
+// (e.g. active blocks) are skipped. Returns ok=false when no candidate
+// has any invalid page.
+type victimPolicy struct {
+	dev *nand.Device
+}
+
+func (v victimPolicy) pick(iter func(func(nand.BlockID) bool), exclude func(nand.BlockID) bool) (nand.BlockID, bool) {
+	var best nand.BlockID
+	bestScore := -1.0
+	var bestWear uint32
+	iter(func(blk nand.BlockID) bool {
+		if exclude != nil && exclude(blk) {
+			return true
+		}
+		inv := v.dev.InvalidPages(blk)
+		if inv == 0 {
+			return true
+		}
+		valid := v.dev.ValidPages(blk)
+		age := float64(v.dev.BlockAge(blk) + 1)
+		score := float64(inv) * age / float64(2*valid+1)
+		wear := v.dev.EraseCount(blk)
+		if score > bestScore || (score == bestScore && wear < bestWear) {
+			best, bestScore, bestWear = blk, score, wear
+		}
+		return true
+	})
+	return best, bestScore > 0
+}
+
+// CheckMapping verifies that every mapped LPN points at a valid page
+// holding that LPN (read-your-writes at the metadata level). Exposed for
+// tests via the concrete FTL types.
+func (b *Base) CheckMapping() error {
+	for lpn := uint64(0); lpn < b.table.Pages(); lpn++ {
+		ppn, ok := b.table.Lookup(lpn)
+		if !ok {
+			continue
+		}
+		if st := b.dev.State(ppn); st != nand.PageValid {
+			return fmt.Errorf("ftl: lpn %d maps to %s page %d", lpn, st, ppn)
+		}
+		if oob := b.dev.PeekOOB(ppn); oob.LPN != lpn {
+			return fmt.Errorf("ftl: lpn %d maps to page holding lpn %d", lpn, oob.LPN)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+// Package ftl provides the flash-translation-layer framework shared by
+// all strategies: page-level mapping, host/GC cost attribution, greedy
+// garbage collection — plus the three reference FTLs the experiments
+// compare against:
+//
+//   - Conventional: the paper's baseline. Page-mapping with one active
+//     block and greedy GC; completely speed-oblivious.
+//   - GreedySpeed: the naive strawman from the paper's motivation
+//     (Figure 3). It places hot data directly into fast pages and cold
+//     data into slow pages of the *same* physical blocks, which ruins GC
+//     efficiency exactly as §2.2 predicts.
+//   - HotColdSplit: classic hot/cold block separation without any speed
+//     awareness; isolates how much of PPB's win comes from speed-aware
+//     placement rather than plain separation.
+//
+// The PPB strategy itself lives in internal/core and plugs into the same
+// FTL interface.
+package ftl
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ppbflash/internal/metrics"
+	"ppbflash/internal/nand"
+)
+
+// FTL is the host-visible interface of a flash translation layer. Hosts
+// issue page-granular logical reads and writes; the FTL manages mapping,
+// allocation and garbage collection underneath.
+type FTL interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Write stores one logical page. reqSize is the byte length of the
+	// host request the page belongs to; identifiers such as the paper's
+	// size-check use it to judge hotness.
+	Write(lpn uint64, reqSize int) error
+	// Read fetches one logical page. mapped is false when the page was
+	// never written (the read is counted but costs nothing).
+	Read(lpn uint64) (mapped bool, err error)
+	// Stats exposes the accumulated cost and activity counters.
+	Stats() *Stats
+	// LogicalPages is the exported logical address space size.
+	LogicalPages() uint64
+	// Device returns the underlying simulated device.
+	Device() *nand.Device
+}
+
+// ErrNoSpace is returned when a write cannot find a free page even after
+// garbage collection; it means the logical space overcommits the device.
+var ErrNoSpace = errors.New("ftl: out of flash space")
+
+// Options tunes the shared FTL machinery.
+type Options struct {
+	// OverProvision is the fraction of raw capacity hidden from the
+	// logical space (default 0.10).
+	OverProvision float64
+	// GCLowWater triggers garbage collection when the free-block pool
+	// drops to it (default max(3, totalBlocks/64)).
+	GCLowWater int
+	// GCHighWater is where a GC burst stops (default GCLowWater+2).
+	GCHighWater int
+}
+
+func (o Options) withDefaults(cfg nand.Config) Options {
+	if o.OverProvision == 0 {
+		o.OverProvision = 0.10
+	}
+	if o.GCLowWater == 0 {
+		o.GCLowWater = cfg.TotalBlocks() / 64
+		if o.GCLowWater < 3 {
+			o.GCLowWater = 3
+		}
+	}
+	if o.GCHighWater == 0 {
+		o.GCHighWater = o.GCLowWater + 2
+	}
+	return o
+}
+
+// Validate rejects nonsensical option combinations.
+func (o Options) Validate(cfg nand.Config) error {
+	if o.OverProvision < 0 || o.OverProvision >= 0.9 {
+		return fmt.Errorf("ftl: over-provision %g out of [0, 0.9)", o.OverProvision)
+	}
+	if o.GCHighWater < o.GCLowWater {
+		return fmt.Errorf("ftl: GC high water %d below low water %d", o.GCHighWater, o.GCLowWater)
+	}
+	if o.GCHighWater >= cfg.TotalBlocks() {
+		return fmt.Errorf("ftl: GC high water %d not below %d blocks", o.GCHighWater, cfg.TotalBlocks())
+	}
+	return nil
+}
+
+// Stats aggregates host-attributed costs and FTL activity. Read/write
+// latency totals are what the paper's Figures 13–17 plot; erase counts
+// feed Figure 18.
+type Stats struct {
+	HostReads     metrics.Counter // mapped page reads served
+	HostWrites    metrics.Counter // host page programs
+	UnmappedReads metrics.Counter // reads of never-written pages
+
+	ReadLatency  metrics.Latency // device time of host reads
+	WriteLatency metrics.Latency // device time of host programs
+	GCLatency    metrics.Latency // device time of GC copies and erases
+
+	GCCopies metrics.Counter // valid pages moved by GC
+	GCErases metrics.Counter // blocks erased by GC
+	GCRuns   metrics.Counter // GC invocations
+
+	// GCPoolErases/GCPoolCopies break GC activity down by the victim's
+	// allocation pool (diagnostics; pools beyond index 7 are folded into
+	// the last slot).
+	GCPoolErases [8]metrics.Counter
+	GCPoolCopies [8]metrics.Counter
+
+	// FastReads/SlowReads split host reads by the speed group of the
+	// page that served them (placement quality probe).
+	FastReads metrics.Counter
+	SlowReads metrics.Counter
+}
+
+// WriteTotal is the total write-path time: host programs plus the GC work
+// those programs forced. This is the quantity Figures 16/17 compare.
+func (s *Stats) WriteTotal() time.Duration {
+	return s.WriteLatency.Total + s.GCLatency.Total
+}
+
+// ReadTotal is the total read-path time (Figures 13/14).
+func (s *Stats) ReadTotal() time.Duration { return s.ReadLatency.Total }
+
+// WAF returns the write amplification factor (host+GC programs over host
+// programs); 1.0 when no GC ran.
+func (s *Stats) WAF() float64 {
+	if s.HostWrites == 0 {
+		return 0
+	}
+	return float64(uint64(s.HostWrites)+uint64(s.GCCopies)) / float64(uint64(s.HostWrites))
+}
+
+// LogicalPagesFor returns the logical space (in pages) exported over a
+// device with the given over-provisioning.
+func LogicalPagesFor(cfg nand.Config, overProvision float64) uint64 {
+	return uint64(float64(cfg.TotalPages()) * (1 - overProvision))
+}
+
+const unmapped = ^nand.PPN(0)
+
+// Mapping is a dense logical-to-physical page map with a reverse check
+// hook for consistency tests.
+type Mapping struct {
+	table []nand.PPN
+}
+
+// NewMapping builds an all-unmapped table for n logical pages.
+func NewMapping(n uint64) *Mapping {
+	t := make([]nand.PPN, n)
+	for i := range t {
+		t[i] = unmapped
+	}
+	return &Mapping{table: t}
+}
+
+// Pages returns the logical page count.
+func (m *Mapping) Pages() uint64 { return uint64(len(m.table)) }
+
+// Lookup returns the physical page of lpn; ok is false when unmapped.
+func (m *Mapping) Lookup(lpn uint64) (nand.PPN, bool) {
+	if lpn >= uint64(len(m.table)) {
+		return 0, false
+	}
+	p := m.table[lpn]
+	return p, p != unmapped
+}
+
+// Set maps lpn to ppn and returns the previous mapping if there was one.
+func (m *Mapping) Set(lpn uint64, ppn nand.PPN) (old nand.PPN, hadOld bool) {
+	old = m.table[lpn]
+	m.table[lpn] = ppn
+	return old, old != unmapped
+}
+
+// InRange reports whether lpn is inside the logical space.
+func (m *Mapping) InRange(lpn uint64) bool { return lpn < uint64(len(m.table)) }

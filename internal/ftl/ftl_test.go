@@ -1,0 +1,534 @@
+package ftl
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ppbflash/internal/hotness"
+	"ppbflash/internal/nand"
+)
+
+// testConfig: 8 pages/block over 4 layers, 32 blocks, 2x ratio.
+func testConfig() nand.Config {
+	return nand.Config{
+		PageSize:            4096,
+		PagesPerBlock:       8,
+		BlocksPerChip:       32,
+		Chips:               1,
+		Layers:              4,
+		SpeedRatio:          2,
+		ReadLatency:         40 * time.Microsecond,
+		ProgramLatency:      400 * time.Microsecond,
+		EraseLatency:        4 * time.Millisecond,
+		TransferBytesPerSec: 512e6,
+	}
+}
+
+// mappingChecker is implemented by every FTL in this package for tests.
+type mappingChecker interface {
+	FTL
+	CheckMapping() error
+}
+
+func newFTL(t *testing.T, kind string, cfg nand.Config, opts Options) mappingChecker {
+	t.Helper()
+	dev := nand.MustNewDevice(cfg)
+	var (
+		f   mappingChecker
+		err error
+	)
+	switch kind {
+	case "conventional":
+		f, err = NewConventional(dev, opts)
+	case "greedy-speed":
+		f, err = NewGreedySpeed(dev, opts, nil)
+	case "hotcold-split":
+		f, err = NewHotColdSplit(dev, opts, nil)
+	default:
+		t.Fatalf("unknown kind %q", kind)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+var allKinds = []string{"conventional", "greedy-speed", "hotcold-split"}
+
+func TestOptionsDefaultsAndValidation(t *testing.T) {
+	cfg := testConfig()
+	o := Options{}.withDefaults(cfg)
+	if o.OverProvision != 0.10 {
+		t.Errorf("default OP = %g", o.OverProvision)
+	}
+	if o.GCLowWater < 3 || o.GCHighWater < o.GCLowWater {
+		t.Errorf("default watermarks = %d/%d", o.GCLowWater, o.GCHighWater)
+	}
+	bad := []Options{
+		{OverProvision: -0.1},
+		{OverProvision: 0.95},
+		{GCLowWater: 10, GCHighWater: 5, OverProvision: 0.1},
+		{GCLowWater: 3, GCHighWater: 99, OverProvision: 0.1},
+	}
+	for i, o := range bad {
+		if err := o.Validate(cfg); err == nil {
+			t.Errorf("bad options %d accepted", i)
+		}
+	}
+}
+
+func TestLogicalPagesFor(t *testing.T) {
+	cfg := testConfig() // 256 pages
+	if got := LogicalPagesFor(cfg, 0.10); got != 230 {
+		t.Errorf("logical pages = %d, want 230", got)
+	}
+	if got := LogicalPagesFor(cfg, 0); got != 256 {
+		t.Errorf("no OP = %d, want 256", got)
+	}
+}
+
+func TestMapping(t *testing.T) {
+	m := NewMapping(10)
+	if m.Pages() != 10 {
+		t.Fatal("pages")
+	}
+	if _, ok := m.Lookup(3); ok {
+		t.Fatal("fresh map should be unmapped")
+	}
+	if _, ok := m.Lookup(99); ok {
+		t.Fatal("out of range lookup should be unmapped")
+	}
+	if old, had := m.Set(3, 77); had {
+		t.Fatalf("first set returned old %d", old)
+	}
+	if p, ok := m.Lookup(3); !ok || p != 77 {
+		t.Fatalf("lookup = %d %v", p, ok)
+	}
+	if old, had := m.Set(3, 99); !had || old != 77 {
+		t.Fatalf("second set old = %d %v", old, had)
+	}
+	if !m.InRange(9) || m.InRange(10) {
+		t.Fatal("InRange")
+	}
+}
+
+func TestReadYourWrites(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(kind, func(t *testing.T) {
+			f := newFTL(t, kind, testConfig(), Options{})
+			for lpn := uint64(0); lpn < 50; lpn++ {
+				if err := f.Write(lpn, 4096); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for lpn := uint64(0); lpn < 50; lpn++ {
+				mapped, err := f.Read(lpn)
+				if err != nil || !mapped {
+					t.Fatalf("read %d: mapped=%v err=%v", lpn, mapped, err)
+				}
+			}
+			if err := f.CheckMapping(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestUnmappedRead(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(kind, func(t *testing.T) {
+			f := newFTL(t, kind, testConfig(), Options{})
+			mapped, err := f.Read(5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mapped {
+				t.Fatal("never-written page reported mapped")
+			}
+			if f.Stats().UnmappedReads.Value() != 1 {
+				t.Error("unmapped read not counted")
+			}
+		})
+	}
+}
+
+func TestOutOfRangeAccess(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(kind, func(t *testing.T) {
+			f := newFTL(t, kind, testConfig(), Options{})
+			beyond := f.LogicalPages() + 1
+			if err := f.Write(beyond, 4096); err == nil {
+				t.Error("write beyond logical space accepted")
+			}
+			if _, err := f.Read(beyond); err == nil {
+				t.Error("read beyond logical space accepted")
+			}
+		})
+	}
+}
+
+func TestOverwriteInvalidatesOldPage(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(kind, func(t *testing.T) {
+			f := newFTL(t, kind, testConfig(), Options{})
+			if err := f.Write(7, 4096); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Write(7, 4096); err != nil {
+				t.Fatal(err)
+			}
+			dev := f.Device()
+			var valid, invalid int
+			for b := 0; b < dev.Config().TotalBlocks(); b++ {
+				valid += dev.ValidPages(nand.BlockID(b))
+				invalid += dev.InvalidPages(nand.BlockID(b))
+			}
+			if valid != 1 || invalid != 1 {
+				t.Errorf("valid=%d invalid=%d, want 1/1", valid, invalid)
+			}
+		})
+	}
+}
+
+// churn drives overwrite traffic heavy enough to force many GC cycles.
+func churn(t *testing.T, f FTL, writes int, logicalSpan uint64, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < writes; i++ {
+		lpn := uint64(rng.Int63n(int64(logicalSpan)))
+		size := 4096
+		if rng.Intn(2) == 0 {
+			size = 64 * 1024
+		}
+		if err := f.Write(lpn, size); err != nil {
+			t.Fatalf("write %d (lpn %d): %v", i, lpn, err)
+		}
+	}
+}
+
+func TestGCReclaimsSpaceAndPreservesData(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(kind, func(t *testing.T) {
+			f := newFTL(t, kind, testConfig(), Options{})
+			span := f.LogicalPages() / 2
+			churn(t, f, 3000, span, 42)
+			st := f.Stats()
+			if st.GCErases.Value() == 0 {
+				t.Fatal("no GC despite heavy churn")
+			}
+			if err := f.CheckMapping(); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Device().CheckAccounting(); err != nil {
+				t.Fatal(err)
+			}
+			// All recently written pages still readable.
+			for lpn := uint64(0); lpn < span; lpn++ {
+				if _, err := f.Read(lpn); err != nil {
+					t.Fatalf("read %d after GC: %v", lpn, err)
+				}
+			}
+		})
+	}
+}
+
+func TestFullLogicalSpaceFill(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(kind, func(t *testing.T) {
+			f := newFTL(t, kind, testConfig(), Options{})
+			// Fill the entire logical space twice: forces steady-state GC
+			// at max utilization.
+			for round := 0; round < 2; round++ {
+				for lpn := uint64(0); lpn < f.LogicalPages(); lpn++ {
+					if err := f.Write(lpn, 64*1024); err != nil {
+						t.Fatalf("round %d lpn %d: %v", round, lpn, err)
+					}
+				}
+			}
+			if err := f.CheckMapping(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestWAFReasonable(t *testing.T) {
+	f := newFTL(t, "conventional", testConfig(), Options{})
+	churn(t, f, 4000, f.LogicalPages()*8/10, 7)
+	waf := f.Stats().WAF()
+	if waf < 1.0 {
+		t.Fatalf("WAF %g < 1", waf)
+	}
+	if waf > 6 {
+		t.Errorf("WAF %g implausibly high for 80%% utilization", waf)
+	}
+}
+
+func TestStatsTotals(t *testing.T) {
+	f := newFTL(t, "conventional", testConfig(), Options{})
+	if err := f.Write(1, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.ReadTotal() <= 0 || st.WriteTotal() <= 0 {
+		t.Error("zero totals")
+	}
+	if st.WriteTotal() != st.WriteLatency.Total {
+		t.Error("WriteTotal should equal host writes when no GC ran")
+	}
+	if st.WAF() != 1.0 {
+		t.Errorf("WAF = %g, want 1.0 before GC", st.WAF())
+	}
+	if (&Stats{}).WAF() != 0 {
+		t.Error("empty WAF should be 0")
+	}
+}
+
+func TestFastSlowReadSplitCounted(t *testing.T) {
+	f := newFTL(t, "conventional", testConfig(), Options{})
+	// Fill one block exactly: pages 0-3 slow half, 4-7 fast half.
+	for lpn := uint64(0); lpn < 8; lpn++ {
+		if err := f.Write(lpn, 4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for lpn := uint64(0); lpn < 8; lpn++ {
+		if _, err := f.Read(lpn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := f.Stats()
+	if st.FastReads.Value() != 4 || st.SlowReads.Value() != 4 {
+		t.Errorf("fast/slow = %d/%d, want 4/4", st.FastReads.Value(), st.SlowReads.Value())
+	}
+}
+
+func TestGreedySpeedPlacesHotDataFast(t *testing.T) {
+	f := newFTL(t, "greedy-speed", testConfig(), Options{})
+	// Interleave cold (large) and hot (small) writes so slow halves fill
+	// with cold data, fast halves with hot data.
+	for i := uint64(0); i < 40; i++ {
+		if err := f.Write(i, 64*1024); err != nil { // cold
+			t.Fatal(err)
+		}
+		if err := f.Write(100+i, 512); err != nil { // hot
+			t.Fatal(err)
+		}
+	}
+	dev := f.Device()
+	cfg := dev.Config()
+	misplacedHot, misplacedCold := 0, 0
+	for b := 0; b < cfg.TotalBlocks(); b++ {
+		for p := 0; p < cfg.PagesPerBlock; p++ {
+			ppn := cfg.PPNForBlockPage(nand.BlockID(b), p)
+			if dev.State(ppn) != nand.PageValid {
+				continue
+			}
+			oob := dev.PeekOOB(ppn)
+			fast := p >= cfg.PagesPerBlock/2
+			if oob.Tag == tagHot && !fast {
+				misplacedHot++
+			}
+			if oob.Tag == tagCold && fast {
+				misplacedCold++
+			}
+		}
+	}
+	// Spill is possible at open-VB boundaries but must be rare.
+	if misplacedHot > 8 || misplacedCold > 8 {
+		t.Errorf("misplaced hot=%d cold=%d", misplacedHot, misplacedCold)
+	}
+}
+
+func TestGreedySpeedMixesHotColdInOneBlock(t *testing.T) {
+	f := newFTL(t, "greedy-speed", testConfig(), Options{})
+	for i := uint64(0); i < 40; i++ {
+		if err := f.Write(i, 64*1024); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Write(100+i, 512); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dev := f.Device()
+	cfg := dev.Config()
+	mixed := 0
+	for b := 0; b < cfg.TotalBlocks(); b++ {
+		hasHot, hasCold := false, false
+		for p := 0; p < cfg.PagesPerBlock; p++ {
+			ppn := cfg.PPNForBlockPage(nand.BlockID(b), p)
+			if dev.State(ppn) != nand.PageValid {
+				continue
+			}
+			if dev.PeekOOB(ppn).Tag == tagHot {
+				hasHot = true
+			} else {
+				hasCold = true
+			}
+		}
+		if hasHot && hasCold {
+			mixed++
+		}
+	}
+	if mixed == 0 {
+		t.Error("greedy-speed should mix hot and cold within blocks (the Figure 3 failure)")
+	}
+}
+
+func TestHotColdSplitSeparatesBlocks(t *testing.T) {
+	f := newFTL(t, "hotcold-split", testConfig(), Options{})
+	for i := uint64(0); i < 40; i++ {
+		if err := f.Write(i, 64*1024); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Write(100+i, 512); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dev := f.Device()
+	cfg := dev.Config()
+	for b := 0; b < cfg.TotalBlocks(); b++ {
+		hasHot, hasCold := false, false
+		for p := 0; p < cfg.PagesPerBlock; p++ {
+			ppn := cfg.PPNForBlockPage(nand.BlockID(b), p)
+			if dev.State(ppn) == nand.PageFree {
+				continue
+			}
+			if dev.PeekOOB(ppn).Tag == tagHot {
+				hasHot = true
+			} else {
+				hasCold = true
+			}
+		}
+		if hasHot && hasCold {
+			t.Fatalf("block %d mixes hot and cold under hotcold-split", b)
+		}
+	}
+}
+
+func TestGreedySpeedGCWorseThanSplit(t *testing.T) {
+	// The paper's motivation: mixing hot and cold in one block wrecks GC.
+	// Hot churn over a small set + cold data that stays valid.
+	run := func(kind string) *Stats {
+		f := newFTL(t, kind, testConfig(), Options{})
+		rng := rand.New(rand.NewSource(3))
+		cold := f.LogicalPages() * 6 / 10
+		for lpn := uint64(0); lpn < cold; lpn++ {
+			if err := f.Write(lpn, 64*1024); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 6000; i++ {
+			lpn := cold + uint64(rng.Int63n(40)) // 40 hot pages churning
+			if err := f.Write(lpn, 512); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return f.Stats()
+	}
+	greedy := run("greedy-speed")
+	split := run("hotcold-split")
+	if greedy.GCErases.Value() == 0 || split.GCErases.Value() == 0 {
+		t.Skip("churn did not trigger GC at this scale")
+	}
+	if float64(greedy.GCCopies.Value()) < 1.5*float64(split.GCCopies.Value()) {
+		t.Errorf("expected mixing to inflate GC copies: greedy=%d split=%d",
+			greedy.GCCopies.Value(), split.GCCopies.Value())
+	}
+}
+
+func TestNoSpaceErrorWhenOvercommitted(t *testing.T) {
+	cfg := testConfig()
+	cfg.BlocksPerChip = 16
+	// Zero over-provisioning with aggressive fill: eventually ErrNoSpace.
+	f := newFTL(t, "conventional", cfg, Options{OverProvision: 0.01})
+	var failed error
+	for lpn := uint64(0); lpn < f.LogicalPages(); lpn++ {
+		if err := f.Write(lpn, 4096); err != nil {
+			failed = err
+			break
+		}
+	}
+	// Either the fill succeeds (enough slack for GC) or it fails with
+	// ErrNoSpace; any other error is a bug.
+	if failed != nil && !errors.Is(failed, ErrNoSpace) {
+		t.Fatalf("unexpected error: %v", failed)
+	}
+}
+
+// Property: random workloads keep mapping and device accounting intact on
+// every FTL (DESIGN.md invariant 4/5), and shadow-model reads agree.
+func TestPropertyFTLConsistency(t *testing.T) {
+	for _, kind := range allKinds {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			f := func(seed int64) bool {
+				ftl := newFTLQuick(kind)
+				rng := rand.New(rand.NewSource(seed))
+				span := int64(ftl.LogicalPages())
+				written := make(map[uint64]bool)
+				for i := 0; i < 1200; i++ {
+					lpn := uint64(rng.Int63n(span))
+					if rng.Intn(3) == 0 {
+						mapped, err := ftl.Read(lpn)
+						if err != nil {
+							t.Logf("read: %v", err)
+							return false
+						}
+						if mapped != written[lpn] {
+							t.Logf("mapped=%v but written=%v for %d", mapped, written[lpn], lpn)
+							return false
+						}
+					} else {
+						size := []int{512, 4096, 64 * 1024}[rng.Intn(3)]
+						if err := ftl.Write(lpn, size); err != nil {
+							t.Logf("write: %v", err)
+							return false
+						}
+						written[lpn] = true
+					}
+				}
+				if err := ftl.CheckMapping(); err != nil {
+					t.Log(err)
+					return false
+				}
+				return ftl.Device().CheckAccounting() == nil
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func newFTLQuick(kind string) mappingChecker {
+	dev := nand.MustNewDevice(testConfig())
+	switch kind {
+	case "conventional":
+		f, _ := NewConventional(dev, Options{})
+		return f
+	case "greedy-speed":
+		f, _ := NewGreedySpeed(dev, Options{}, nil)
+		return f
+	default:
+		f, _ := NewHotColdSplit(dev, Options{}, hotness.SizeCheck{ThresholdBytes: 4096})
+		return f
+	}
+}
+
+func TestFTLNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, kind := range allKinds {
+		f := newFTL(t, kind, testConfig(), Options{})
+		names[f.Name()] = true
+	}
+	if len(names) != 3 {
+		t.Errorf("duplicate FTL names: %v", names)
+	}
+}

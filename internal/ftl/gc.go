@@ -1,0 +1,125 @@
+package ftl
+
+import (
+	"time"
+
+	"ppbflash/internal/nand"
+	"ppbflash/internal/vblock"
+)
+
+// ReprogramFunc relocates one valid page during GC and returns the device
+// cost of the program plus the new physical page.
+type ReprogramFunc func(oob nand.OOB) (time.Duration, nand.PPN, error)
+
+// GCLoop is the garbage collector shared by every FTL in this module:
+// greedy victim selection (most invalid pages, wear-aware tie-break),
+// valid-page relocation through the strategy's own reprogram routine,
+// erase, release. It runs until the free pool recovers to the high-water
+// mark or nothing reclaimable remains.
+func (b *Base) GCLoop(vbm *vblock.Manager, exclude func(nand.BlockID) bool, reprogram ReprogramFunc) error {
+	return b.GCLoopOrdered(vbm, exclude, reprogram, nil)
+}
+
+// GCLoopOrdered is GCLoop with a relocation-order hook: within each
+// collected block, pages for which fastFirst returns true are relocated
+// before the rest. PPB uses this to let fast-deserving data (iron-hot,
+// cold) claim the available fast virtual-block space of a GC burst ahead
+// of slow-deserving data — the paper does not fix a relocation order, and
+// this one makes the progressive migration converge. A nil fastFirst
+// keeps physical page order.
+func (b *Base) GCLoopOrdered(vbm *vblock.Manager, exclude func(nand.BlockID) bool,
+	reprogram ReprogramFunc, fastFirst func(nand.OOB) bool) error {
+	b.stats.GCRuns.Inc()
+	for vbm.FreeBlocks() < b.opts.GCHighWater {
+		victim, ok := victimPolicy{dev: b.dev}.pick(vbm.ForEachFull, exclude)
+		if !ok {
+			// Desperation: consider partially filled, non-active blocks.
+			victim, ok = victimPolicy{dev: b.dev}.pick(vbm.ForEachOwned, exclude)
+			if !ok {
+				return nil // nothing reclaimable; let the write fail if truly full
+			}
+		}
+		before := vbm.FreeBlocks()
+		if err := b.collectBlock(vbm, victim, reprogram, fastFirst); err != nil {
+			return err
+		}
+		if vbm.FreeBlocks() <= before {
+			// Relocation consumed the reclaimed space: the high-water
+			// target is not reachable right now. Stop rather than churn
+			// nearly-valid blocks (GC must always make forward progress).
+			return nil
+		}
+	}
+	return nil
+}
+
+// collectBlock relocates the victim's valid pages (optionally in two
+// passes ordered by fastFirst), erases it and returns it to the free
+// pool, charging all device time to GC.
+func (b *Base) collectBlock(vbm *vblock.Manager, victim nand.BlockID,
+	reprogram ReprogramFunc, fastFirst func(nand.OOB) bool) error {
+	// A partially-used victim may still be queued as "pending": its next
+	// part could otherwise be opened as a relocation target mid-collect.
+	vbm.UnqueuePending(victim)
+	poolIdx := 0
+	if pool, ok := vbm.PoolOf(victim); ok {
+		poolIdx = pool
+		if poolIdx >= len(b.stats.GCPoolErases) {
+			poolIdx = len(b.stats.GCPoolErases) - 1
+		}
+	}
+	relocate := func(page int) error {
+		ppn := b.cfg.PPNForBlockPage(victim, page)
+		oob, readCost, err := b.dev.Read(ppn)
+		if err != nil {
+			return err
+		}
+		progCost, newPPN, err := reprogram(oob)
+		if err != nil {
+			return err
+		}
+		b.table.Set(oob.LPN, newPPN)
+		if err := b.dev.Invalidate(ppn); err != nil {
+			return err
+		}
+		b.stats.GCCopies.Inc()
+		b.stats.GCPoolCopies[poolIdx].Inc()
+		b.stats.GCLatency.Observe(readCost + progCost)
+		return nil
+	}
+	var deferred []int
+	for page := 0; page < b.cfg.PagesPerBlock; page++ {
+		ppn := b.cfg.PPNForBlockPage(victim, page)
+		if b.dev.State(ppn) != nand.PageValid {
+			continue
+		}
+		if fastFirst != nil && !fastFirst(b.dev.PeekOOB(ppn)) {
+			deferred = append(deferred, page)
+			continue
+		}
+		if err := relocate(page); err != nil {
+			return err
+		}
+	}
+	for _, page := range deferred {
+		if err := relocate(page); err != nil {
+			return err
+		}
+	}
+	eraseCost, err := b.dev.Erase(victim)
+	if err != nil {
+		return err
+	}
+	if vbm.IsFull(victim) {
+		err = vbm.Release(victim)
+	} else {
+		err = vbm.ReleaseForce(victim)
+	}
+	if err != nil {
+		return err
+	}
+	b.stats.GCErases.Inc()
+	b.stats.GCPoolErases[poolIdx].Inc()
+	b.stats.GCLatency.Observe(eraseCost)
+	return nil
+}

@@ -1,0 +1,340 @@
+package harness
+
+import (
+	"fmt"
+
+	"ppbflash/internal/core"
+	"ppbflash/internal/hotness"
+	"ppbflash/internal/metrics"
+)
+
+// FigureResult bundles a rendered table with the raw numeric series so
+// tests and benchmarks can assert on shapes without re-parsing text.
+type FigureResult struct {
+	// ID names the paper artifact, e.g. "figure-12".
+	ID string
+	// Table is the human-readable rendering.
+	Table *metrics.Table
+	// Series holds the raw numbers per named curve.
+	Series map[string][]float64
+}
+
+func newFigure(id string, table *metrics.Table) *FigureResult {
+	return &FigureResult{ID: id, Table: table, Series: make(map[string][]float64)}
+}
+
+func (f *FigureResult) add(series string, v float64) {
+	f.Series[series] = append(f.Series[series], v)
+}
+
+// comparePair runs the same workload on a conventional and a PPB FTL over
+// the same device config.
+func comparePair(name string, s Scale, pageSize int, ratio float64, wl WorkloadBuilder) (conv, ppb Result, err error) {
+	dev := s.DeviceConfig(pageSize, ratio)
+	conv, err = Run(RunSpec{
+		Name: name + "/conventional", Device: dev, Kind: KindConventional,
+		Workload: wl, Prefill: true,
+	})
+	if err != nil {
+		return conv, ppb, err
+	}
+	ppb, err = Run(RunSpec{
+		Name: name + "/ppb", Device: dev, Kind: KindPPB,
+		Workload: wl, Prefill: true,
+	})
+	return conv, ppb, err
+}
+
+var paperTraces = []string{"mediaserver", "websql"}
+
+// Figure12 reproduces the read performance enhancement of PPB over the
+// conventional FTL for both traces at 8 KB and 16 KB page sizes
+// (speed ratio 2x, the footnote-1 default for current 64-layer parts).
+func Figure12(s Scale) (*FigureResult, error) {
+	return enhancementFigure(s, "figure-12", "Figure 12: Read Performance Enhancement (ratio 2x)",
+		func(conv, ppb Result) float64 {
+			return metrics.Enhancement(conv.ReadTotal, ppb.ReadTotal)
+		})
+}
+
+// Figure15 reproduces the write performance enhancement, which the paper
+// reports as essentially zero (|delta| well below 1%).
+func Figure15(s Scale) (*FigureResult, error) {
+	return enhancementFigure(s, "figure-15", "Figure 15: Write Performance Enhancement (ratio 2x)",
+		func(conv, ppb Result) float64 {
+			return metrics.Enhancement(conv.WriteTotal, ppb.WriteTotal)
+		})
+}
+
+func enhancementFigure(s Scale, id, title string, metric func(conv, ppb Result) float64) (*FigureResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	tbl := metrics.NewTable(title, "trace", "8K page size", "16K page size")
+	fig := newFigure(id, tbl)
+	for _, tr := range paperTraces {
+		wl, err := s.workloadByName(tr)
+		if err != nil {
+			return nil, err
+		}
+		var cells []any
+		cells = append(cells, tr)
+		for _, pageSize := range []int{8 << 10, 16 << 10} {
+			conv, ppb, err := comparePair(fmt.Sprintf("%s/%s/%dK", id, tr, pageSize>>10), s, pageSize, 2.0, wl)
+			if err != nil {
+				return nil, err
+			}
+			e := metric(conv, ppb)
+			fig.add(fmt.Sprintf("%s/%dK", tr, pageSize>>10), e)
+			cells = append(cells, fmt.Sprintf("%.2f%%", e*100))
+		}
+		tbl.AddRow(cells...)
+	}
+	return fig, nil
+}
+
+// latencySweep produces the Figures 13/14/16/17 family: total latency vs
+// page access speed difference (2x..5x) for one trace, conventional vs
+// PPB, at the Table 1 page size.
+func latencySweep(s Scale, id, title, traceName string, read bool) (*FigureResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	wl, err := s.workloadByName(traceName)
+	if err != nil {
+		return nil, err
+	}
+	tbl := metrics.NewTable(title, "speed diff", "conventional FTL (s)", "FTL with PPB (s)", "delta")
+	fig := newFigure(id, tbl)
+	for _, ratio := range []float64{2, 3, 4, 5} {
+		conv, ppb, err := comparePair(fmt.Sprintf("%s/%gx", id, ratio), s, 16<<10, ratio, wl)
+		if err != nil {
+			return nil, err
+		}
+		cv, pv := conv.ReadTotal.Seconds(), ppb.ReadTotal.Seconds()
+		if !read {
+			cv, pv = conv.WriteTotal.Seconds(), ppb.WriteTotal.Seconds()
+		}
+		fig.add("conventional", cv)
+		fig.add("ppb", pv)
+		tbl.AddRow(fmt.Sprintf("%gx", ratio), cv, pv, fmt.Sprintf("%+.2f%%", (pv-cv)/cv*100))
+	}
+	return fig, nil
+}
+
+// Figure13 reproduces the media-server read latency sweep.
+func Figure13(s Scale) (*FigureResult, error) {
+	return latencySweep(s, "figure-13", "Figure 13: Media Server Trace — Read Latency Comparison", "mediaserver", true)
+}
+
+// Figure14 reproduces the web-server read latency sweep.
+func Figure14(s Scale) (*FigureResult, error) {
+	return latencySweep(s, "figure-14", "Figure 14: Web Server Trace — Read Latency Comparison", "websql", true)
+}
+
+// Figure16 reproduces the media-server write latency sweep.
+func Figure16(s Scale) (*FigureResult, error) {
+	return latencySweep(s, "figure-16", "Figure 16: Media Server Trace — Write Latency Comparison", "mediaserver", false)
+}
+
+// Figure17 reproduces the web-server write latency sweep.
+func Figure17(s Scale) (*FigureResult, error) {
+	return latencySweep(s, "figure-17", "Figure 17: Web Server Trace — Write Latency Comparison", "websql", false)
+}
+
+// Figure18 reproduces the erased-block count comparison: PPB must not
+// inflate erase counts, i.e. GC efficiency is retained.
+func Figure18(s Scale) (*FigureResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	tbl := metrics.NewTable("Figure 18: Erased Block Count Comparison",
+		"trace", "conventional FTL", "FTL with PPB", "delta")
+	fig := newFigure("figure-18", tbl)
+	for _, tr := range paperTraces {
+		wl, err := s.workloadByName(tr)
+		if err != nil {
+			return nil, err
+		}
+		conv, ppb, err := comparePair("figure-18/"+tr, s, 16<<10, 2.0, wl)
+		if err != nil {
+			return nil, err
+		}
+		fig.add(tr+"/conventional", float64(conv.Erases))
+		fig.add(tr+"/ppb", float64(ppb.Erases))
+		delta := "n/a"
+		if conv.Erases > 0 {
+			delta = fmt.Sprintf("%+.2f%%", (float64(ppb.Erases)-float64(conv.Erases))/float64(conv.Erases)*100)
+		}
+		tbl.AddRow(tr, conv.Erases, ppb.Erases, delta)
+	}
+	return fig, nil
+}
+
+// MotivationFigure3 quantifies the paper's Figure 3 argument: placing
+// hot data in fast pages and cold data in slow pages of the same blocks
+// (GreedySpeed) wrecks GC, while hot/cold block separation (with or
+// without speed awareness) keeps it cheap.
+func MotivationFigure3(s Scale) (*FigureResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	wl := s.WebSQLWorkload()
+	tbl := metrics.NewTable("Motivation (Figure 3): GC cost of naive speed placement (websql)",
+		"strategy", "GC copies", "erases", "WAF", "read total (s)")
+	fig := newFigure("motivation-3", tbl)
+	for _, kind := range []FTLKind{KindConventional, KindGreedySpeed, KindHotColdSplit, KindPPB} {
+		res, err := Run(RunSpec{
+			Name: "motivation/" + string(kind), Device: s.DeviceConfig(16<<10, 2.0),
+			Kind: kind, Workload: wl, Prefill: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fig.add(string(kind)+"/copies", float64(res.GCCopies))
+		fig.add(string(kind)+"/erases", float64(res.Erases))
+		fig.add(string(kind)+"/waf", res.WAF)
+		tbl.AddRow(string(kind), res.GCCopies, res.Erases, res.WAF, res.ReadTotal.Seconds())
+	}
+	return fig, nil
+}
+
+// AblationSplit sweeps the virtual-block split factor K (§3.3.1 notes a
+// physical block "can be divided into multiple virtual blocks rather
+// than two" at extra bookkeeping cost).
+func AblationSplit(s Scale) (*FigureResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	wl := s.WebSQLWorkload()
+	tbl := metrics.NewTable("Ablation: virtual-block split factor (websql, 2x)",
+		"K", "read total (s)", "write total (s)", "migrations", "diversions")
+	fig := newFigure("ablation-split", tbl)
+	for _, k := range []int{2, 4, 8} {
+		res, err := Run(RunSpec{
+			Name: fmt.Sprintf("ablation-split/k%d", k), Device: s.DeviceConfig(16<<10, 2.0),
+			Kind: KindPPB, PPBOptions: core.Options{SplitFactor: k},
+			Workload: wl, Prefill: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fig.add("read", res.ReadTotal.Seconds())
+		fig.add("migrations", float64(res.Migrations))
+		tbl.AddRow(fmt.Sprintf("%d", k), res.ReadTotal.Seconds(), res.WriteTotal.Seconds(),
+			res.Migrations, res.Diversions)
+	}
+	return fig, nil
+}
+
+// AblationIdentifier swaps the first-stage identifier, demonstrating the
+// claim that PPB "is compatible with any hot/cold data identification
+// mechanism" — and showing how much the identifier quality matters.
+func AblationIdentifier(s Scale) (*FigureResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	wl := s.WebSQLWorkload()
+	dev := s.DeviceConfig(16<<10, 2.0)
+	conv, err := Run(RunSpec{
+		Name: "ablation-ident/conventional", Device: dev, Kind: KindConventional,
+		Workload: wl, Prefill: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tbl := metrics.NewTable("Ablation: first-stage identifier (websql, 2x)",
+		"identifier", "read total (s)", "read enhancement", "fast-read share")
+	fig := newFigure("ablation-identifier", tbl)
+	idents := []hotness.Identifier{
+		hotness.SizeCheck{ThresholdBytes: dev.PageSize},
+		hotness.NewRecency(4096),
+		hotness.Static{Result: hotness.AreaHot},
+		hotness.Static{Result: hotness.AreaCold},
+	}
+	for _, id := range idents {
+		res, err := Run(RunSpec{
+			Name: "ablation-ident/" + id.Name(), Device: dev, Kind: KindPPB,
+			PPBOptions: core.Options{Identifier: id}, Workload: wl, Prefill: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e := metrics.Enhancement(conv.ReadTotal, res.ReadTotal)
+		fig.add(id.Name(), e)
+		tbl.AddRow(id.Name(), res.ReadTotal.Seconds(), fmt.Sprintf("%+.2f%%", e*100),
+			fmt.Sprintf("%.1f%%", res.FastReadShare*100))
+	}
+	return fig, nil
+}
+
+// AblationLayers sweeps the gate-stack layer count at a fixed 2x ratio
+// (footnote 1: the speed spread persists as parts grow from 24 to 96+
+// layers; PPB only needs the monotone spread, not a specific count).
+func AblationLayers(s Scale) (*FigureResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	wl := s.WebSQLWorkload()
+	tbl := metrics.NewTable("Ablation: gate stack layers (websql, 2x)",
+		"layers", "conventional read (s)", "ppb read (s)", "enhancement")
+	fig := newFigure("ablation-layers", tbl)
+	for _, layers := range []int{24, 48, 64, 96} {
+		dev := s.DeviceConfig(16<<10, 2.0)
+		dev.Layers = layers
+		conv, err := Run(RunSpec{
+			Name: fmt.Sprintf("ablation-layers/%d/conv", layers), Device: dev,
+			Kind: KindConventional, Workload: wl, Prefill: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ppb, err := Run(RunSpec{
+			Name: fmt.Sprintf("ablation-layers/%d/ppb", layers), Device: dev,
+			Kind: KindPPB, Workload: wl, Prefill: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e := metrics.Enhancement(conv.ReadTotal, ppb.ReadTotal)
+		fig.add("enhancement", e)
+		tbl.AddRow(fmt.Sprintf("%d", layers), conv.ReadTotal.Seconds(), ppb.ReadTotal.Seconds(),
+			fmt.Sprintf("%+.2f%%", e*100))
+	}
+	return fig, nil
+}
+
+// TableOne renders the experimental parameters (the paper's Table 1).
+func TableOne() *FigureResult {
+	cfg := Scale{DeviceDivisor: 1, WriteTurnover: 1}.DeviceConfig(16<<10, 2.0)
+	tbl := metrics.NewTable("Table 1: Experimental Parameters", "item", "specification")
+	tbl.AddRow("Flash size", fmt.Sprintf("%d GB", cfg.TotalBytes()>>30))
+	tbl.AddRow("Page size", fmt.Sprintf("%d KB", cfg.PageSize>>10))
+	tbl.AddRow("Number of pages per block", fmt.Sprintf("%d", cfg.PagesPerBlock))
+	tbl.AddRow("Page write latency", fmt.Sprintf("%v", cfg.ProgramLatency))
+	tbl.AddRow("Page read latency", fmt.Sprintf("%v", cfg.ReadLatency))
+	tbl.AddRow("Data transfer rate", "533 M (listed per Table 1; not charged per op — DESIGN.md §5)")
+	tbl.AddRow("Block erase time", fmt.Sprintf("%v", cfg.EraseLatency))
+	tbl.AddRow("Gate stack layers", fmt.Sprintf("%d", cfg.Layers))
+	fig := newFigure("table-1", tbl)
+	return fig
+}
+
+// Experiments maps experiment IDs to their functions; cmd/ppbench and the
+// benchmarks iterate this.
+var Experiments = map[string]func(Scale) (*FigureResult, error){
+	"12": Figure12,
+	"13": Figure13,
+	"14": Figure14,
+	"15": Figure15,
+	"16": Figure16,
+	"17": Figure17,
+	"18": Figure18,
+	"3":  MotivationFigure3,
+	"a1": AblationSplit,
+	"a2": AblationIdentifier,
+	"a3": AblationLayers,
+}
+
+// ExperimentOrder is the presentation order for "run everything".
+var ExperimentOrder = []string{"12", "13", "14", "15", "16", "17", "18", "3", "a1", "a2", "a3"}

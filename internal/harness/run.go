@@ -1,0 +1,192 @@
+// Package harness builds devices and FTLs, replays workloads through
+// them, and regenerates every table and figure of the paper's evaluation
+// section (see the per-experiment index in DESIGN.md).
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"ppbflash/internal/core"
+	"ppbflash/internal/ftl"
+	"ppbflash/internal/nand"
+	"ppbflash/internal/trace"
+	"ppbflash/internal/workload"
+)
+
+// FTLKind selects the strategy a run uses.
+type FTLKind string
+
+// Available strategies.
+const (
+	KindConventional FTLKind = "conventional"
+	KindPPB          FTLKind = "ppb"
+	KindGreedySpeed  FTLKind = "greedy-speed"
+	KindHotColdSplit FTLKind = "hotcold-split"
+)
+
+// WorkloadBuilder constructs a generator sized to the run's logical
+// space. The harness passes the exact logical byte capacity so traces
+// never address beyond the FTL's exported space.
+type WorkloadBuilder func(logicalBytes uint64) workload.Generator
+
+// RunSpec describes one simulation run.
+type RunSpec struct {
+	// Name labels the run in tables.
+	Name string
+	// Device is the NAND geometry/timing.
+	Device nand.Config
+	// Kind picks the FTL strategy.
+	Kind FTLKind
+	// FTLOptions tunes over-provisioning and GC (zero = defaults).
+	FTLOptions ftl.Options
+	// PPBOptions tunes the PPB strategy when Kind is KindPPB.
+	PPBOptions core.Options
+	// Workload builds the request stream.
+	Workload WorkloadBuilder
+	// Prefill writes the whole logical space once (as bulk cold data)
+	// before replaying, so reads of not-yet-written addresses hit real
+	// pages; prefill cost is excluded from the measured stats.
+	Prefill bool
+}
+
+// Result carries the measurements of one run.
+type Result struct {
+	Name          string
+	Kind          FTLKind
+	WorkloadName  string
+	ReadTotal     time.Duration
+	WriteTotal    time.Duration // host programs + GC work
+	HostReadPages uint64
+	HostWritePage uint64
+	UnmappedReads uint64
+	Erases        uint64
+	GCCopies      uint64
+	WAF           float64
+	FastReadShare float64 // fraction of host reads served from fast halves
+
+	// PPB-only counters (zero otherwise).
+	Migrations uint64
+	Diversions uint64
+	Demotions  uint64
+}
+
+// buildFTL constructs the FTL for a spec.
+func buildFTL(spec RunSpec, dev *nand.Device) (ftl.FTL, error) {
+	switch spec.Kind {
+	case KindConventional:
+		return ftl.NewConventional(dev, spec.FTLOptions)
+	case KindPPB:
+		opt := spec.PPBOptions
+		opt.FTL = spec.FTLOptions
+		return core.New(dev, opt)
+	case KindGreedySpeed:
+		return ftl.NewGreedySpeed(dev, spec.FTLOptions, nil)
+	case KindHotColdSplit:
+		return ftl.NewHotColdSplit(dev, spec.FTLOptions, nil)
+	default:
+		return nil, fmt.Errorf("harness: unknown FTL kind %q", spec.Kind)
+	}
+}
+
+// Run executes one simulation and returns its measurements.
+func Run(spec RunSpec) (Result, error) {
+	if spec.Workload == nil {
+		return Result{}, fmt.Errorf("harness: run %q has no workload", spec.Name)
+	}
+	dev, err := nand.NewDevice(spec.Device)
+	if err != nil {
+		return Result{}, fmt.Errorf("harness: %s: %w", spec.Name, err)
+	}
+	f, err := buildFTL(spec, dev)
+	if err != nil {
+		return Result{}, fmt.Errorf("harness: %s: %w", spec.Name, err)
+	}
+	logicalBytes := f.LogicalPages() * uint64(spec.Device.PageSize)
+	gen := spec.Workload(logicalBytes)
+	if gen.LogicalBytes() > logicalBytes {
+		return Result{}, fmt.Errorf("harness: %s: workload needs %d bytes, logical space is %d",
+			spec.Name, gen.LogicalBytes(), logicalBytes)
+	}
+	if spec.Prefill {
+		if err := prefill(f); err != nil {
+			return Result{}, fmt.Errorf("harness: %s: prefill: %w", spec.Name, err)
+		}
+		*f.Stats() = ftl.Stats{} // measure the trace, not the prefill
+	}
+	if err := Replay(f, gen); err != nil {
+		return Result{}, fmt.Errorf("harness: %s: %w", spec.Name, err)
+	}
+	return collect(spec, f), nil
+}
+
+// prefill writes every logical page once, in order, as bulk cold data.
+func prefill(f ftl.FTL) error {
+	// A large request size makes the size-check identifier treat prefill
+	// as cold bulk data on every page size we evaluate.
+	const bulk = 1 << 20
+	for lpn := uint64(0); lpn < f.LogicalPages(); lpn++ {
+		if err := f.Write(lpn, bulk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Replay feeds every request of the generator through the FTL,
+// splitting byte ranges into page operations.
+func Replay(f ftl.FTL, gen workload.Generator) error {
+	pageSize := f.Device().Config().PageSize
+	for {
+		r, ok := gen.Next()
+		if !ok {
+			return nil
+		}
+		if err := ReplayRequest(f, r, pageSize); err != nil {
+			return err
+		}
+	}
+}
+
+// ReplayRequest issues one trace request as page-level FTL operations.
+func ReplayRequest(f ftl.FTL, r trace.Request, pageSize int) error {
+	first, last := r.Pages(pageSize)
+	for lpn := first; lpn <= last; lpn++ {
+		if r.Op == trace.OpWrite {
+			if err := f.Write(lpn, int(r.Size)); err != nil {
+				return fmt.Errorf("write lpn %d: %w", lpn, err)
+			}
+		} else {
+			if _, err := f.Read(lpn); err != nil {
+				return fmt.Errorf("read lpn %d: %w", lpn, err)
+			}
+		}
+	}
+	return nil
+}
+
+func collect(spec RunSpec, f ftl.FTL) Result {
+	st := f.Stats()
+	res := Result{
+		Name:          spec.Name,
+		Kind:          spec.Kind,
+		ReadTotal:     st.ReadTotal(),
+		WriteTotal:    st.WriteTotal(),
+		HostReadPages: st.HostReads.Value(),
+		HostWritePage: st.HostWrites.Value(),
+		UnmappedReads: st.UnmappedReads.Value(),
+		Erases:        f.Device().TotalErases(),
+		GCCopies:      st.GCCopies.Value(),
+		WAF:           st.WAF(),
+	}
+	if reads := st.FastReads.Value() + st.SlowReads.Value(); reads > 0 {
+		res.FastReadShare = float64(st.FastReads.Value()) / float64(reads)
+	}
+	if p, ok := f.(*core.PPB); ok {
+		ps := p.PPBStats()
+		res.Migrations = ps.Migrations.Value()
+		res.Diversions = ps.Diversions.Value()
+		res.Demotions = ps.Demotions.Value()
+	}
+	return res
+}

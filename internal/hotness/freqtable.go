@@ -1,0 +1,110 @@
+package hotness
+
+// FreqTable is the cold-area tracker of the PPB strategy (Figure 11a): an
+// access-frequency table logging the re-access (read) frequency of each
+// cold chunk. Chunks whose frequency reaches PromoteAt are cold
+// (write-once-read-many, served from fast virtual blocks); the rest are
+// icy-cold (write-once-read-few, slow virtual blocks). The paper sorts
+// the table and splits it; a fixed threshold is the streaming equivalent
+// and keeps lookups O(1).
+//
+// The table is capacity-bounded. On overflow every count is halved and
+// zero entries are dropped (classic frequency aging), which also keeps
+// long-running traces from saturating counts.
+type FreqTable struct {
+	cap       int
+	promoteAt uint32
+	counts    map[uint64]uint32
+}
+
+// NewFreqTable builds a table with the given entry capacity and promotion
+// threshold (reads needed to classify a chunk as cold rather than
+// icy-cold). promoteAt of 0 defaults to 2.
+func NewFreqTable(capacity int, promoteAt uint32) *FreqTable {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if promoteAt == 0 {
+		promoteAt = 2
+	}
+	return &FreqTable{cap: capacity, promoteAt: promoteAt, counts: make(map[uint64]uint32)}
+}
+
+// Level returns the cold-area level of lpn and whether it is tracked.
+func (f *FreqTable) Level(lpn uint64) (Level, bool) {
+	c, ok := f.counts[lpn]
+	if !ok {
+		return 0, false
+	}
+	if c >= f.promoteAt {
+		return Cold, true
+	}
+	return IcyCold, true
+}
+
+// OnWrite registers (or refreshes) a cold-area chunk. A rewrite resets
+// the read frequency: the chunk is new data at the same address.
+func (f *FreqTable) OnWrite(lpn uint64) {
+	f.counts[lpn] = 0
+	f.maybeAge()
+}
+
+// InsertDemoted admits a chunk demoted from the hot area, seeding its
+// frequency at the promotion threshold minus one so one more read
+// re-promotes it within the cold area.
+func (f *FreqTable) InsertDemoted(lpn uint64) {
+	f.counts[lpn] = f.promoteAt - 1
+	f.maybeAge()
+}
+
+// OnRead logs a re-access and returns the chunk's level afterwards; ok is
+// false when the chunk is not cold-area data.
+func (f *FreqTable) OnRead(lpn uint64) (Level, bool) {
+	c, ok := f.counts[lpn]
+	if !ok {
+		return 0, false
+	}
+	if c < ^uint32(0) {
+		c++
+	}
+	f.counts[lpn] = c
+	if c >= f.promoteAt {
+		return Cold, true
+	}
+	return IcyCold, true
+}
+
+// ReadCount returns the logged re-access count of lpn (0 if untracked).
+func (f *FreqTable) ReadCount(lpn uint64) uint32 { return f.counts[lpn] }
+
+// Remove forgets lpn.
+func (f *FreqTable) Remove(lpn uint64) { delete(f.counts, lpn) }
+
+// Len returns the number of tracked chunks.
+func (f *FreqTable) Len() int { return len(f.counts) }
+
+// maybeAge halves all counts when the table overflows, dropping entries
+// that reach zero. Repeated halving always frees space eventually; if a
+// pathological distribution keeps every count above zero, the oldest map
+// entries encountered are evicted to enforce the bound approximately.
+func (f *FreqTable) maybeAge() {
+	if len(f.counts) <= f.cap {
+		return
+	}
+	for lpn, c := range f.counts {
+		c /= 2
+		if c == 0 {
+			delete(f.counts, lpn)
+		} else {
+			f.counts[lpn] = c
+		}
+	}
+	over := len(f.counts) - f.cap
+	for lpn := range f.counts {
+		if over <= 0 {
+			break
+		}
+		delete(f.counts, lpn)
+		over--
+	}
+}

@@ -1,0 +1,89 @@
+package hotness
+
+import "container/list"
+
+// lruList is a capacity-bounded LRU of LPNs with an attached uint64 value
+// (PPB stores the sequence number of the last write, used by the
+// "demote if not modified" rule).
+type lruList struct {
+	cap   int
+	order *list.List // front = most recently used
+	index map[uint64]*list.Element
+}
+
+type lruEntry struct {
+	lpn uint64
+	val uint64
+}
+
+func newLRUList(capacity int) *lruList {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruList{cap: capacity, order: list.New(), index: make(map[uint64]*list.Element)}
+}
+
+func (l *lruList) len() int { return l.order.Len() }
+
+func (l *lruList) contains(lpn uint64) bool {
+	_, ok := l.index[lpn]
+	return ok
+}
+
+func (l *lruList) value(lpn uint64) (uint64, bool) {
+	if e, ok := l.index[lpn]; ok {
+		return e.Value.(*lruEntry).val, true
+	}
+	return 0, false
+}
+
+// touch moves lpn to the MRU position, optionally updating its value,
+// and reports whether the entry existed.
+func (l *lruList) touch(lpn uint64, val uint64, setVal bool) bool {
+	e, ok := l.index[lpn]
+	if !ok {
+		return false
+	}
+	l.order.MoveToFront(e)
+	if setVal {
+		e.Value.(*lruEntry).val = val
+	}
+	return true
+}
+
+// insertFront adds lpn at the MRU position (replacing an existing entry)
+// and returns an evicted LRU entry when the list overflows.
+func (l *lruList) insertFront(lpn uint64, val uint64) (evicted lruEntry, overflow bool) {
+	if l.touch(lpn, val, true) {
+		return lruEntry{}, false
+	}
+	l.index[lpn] = l.order.PushFront(&lruEntry{lpn: lpn, val: val})
+	if l.order.Len() > l.cap {
+		tail := l.order.Back()
+		ent := tail.Value.(*lruEntry)
+		l.order.Remove(tail)
+		delete(l.index, ent.lpn)
+		return *ent, true
+	}
+	return lruEntry{}, false
+}
+
+// remove deletes lpn and reports whether it was present.
+func (l *lruList) remove(lpn uint64) bool {
+	e, ok := l.index[lpn]
+	if !ok {
+		return false
+	}
+	l.order.Remove(e)
+	delete(l.index, lpn)
+	return true
+}
+
+// tail returns the LRU entry without removing it.
+func (l *lruList) tail() (lruEntry, bool) {
+	e := l.order.Back()
+	if e == nil {
+		return lruEntry{}, false
+	}
+	return *e.Value.(*lruEntry), true
+}

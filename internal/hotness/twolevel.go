@@ -1,0 +1,123 @@
+package hotness
+
+// TwoLevelLRU is the hot-area tracker of the PPB strategy (Figure 10a):
+// newly written hot data enters the head of the hot list; a read promotes
+// an entry from the hot list to the iron-hot list; overflowing either
+// list demotes its LRU tail one step down (iron-hot -> hot -> out of the
+// hot area). The paper picks a two-level LRU "for its simplicity because
+// hot data is typically re-accessed frequently".
+//
+// The tracker records logical membership only; physical data movement is
+// the FTL's job and happens progressively (on update or GC).
+type TwoLevelLRU struct {
+	hot  *lruList
+	iron *lruList
+}
+
+// Demotion reports an entry that fell out of the hot area (from the hot
+// list tail) and must be handed to the cold area.
+type Demotion struct {
+	LPN       uint64
+	LastWrite uint64 // sequence number of the entry's last write
+}
+
+// NewTwoLevelLRU builds a tracker with the given per-list entry
+// capacities.
+func NewTwoLevelLRU(hotCap, ironCap int) *TwoLevelLRU {
+	return &TwoLevelLRU{hot: newLRUList(hotCap), iron: newLRUList(ironCap)}
+}
+
+// Level returns the hot-area level of lpn and whether it is tracked.
+func (t *TwoLevelLRU) Level(lpn uint64) (Level, bool) {
+	if t.iron.contains(lpn) {
+		return IronHot, true
+	}
+	if t.hot.contains(lpn) {
+		return Hot, true
+	}
+	return 0, false
+}
+
+// OnWrite records a write of lpn with the given sequence number: tracked
+// entries are refreshed in place (an update does not change the level; an
+// iron-hot chunk that is rewritten is still frequently read *and*
+// written), new entries enter the hot list head. The returned demotions
+// (at most one) must be inserted into the cold area by the caller.
+func (t *TwoLevelLRU) OnWrite(lpn uint64, seq uint64) (Level, []Demotion) {
+	if t.iron.touch(lpn, seq, true) {
+		return IronHot, nil
+	}
+	if t.hot.touch(lpn, seq, true) {
+		return Hot, nil
+	}
+	if ev, overflow := t.hot.insertFront(lpn, seq); overflow {
+		return Hot, []Demotion{{LPN: ev.lpn, LastWrite: ev.val}}
+	}
+	return Hot, nil
+}
+
+// OnRead records a read of lpn. A hot-list hit is promoted to the
+// iron-hot list (Figure 10a "promote if read"); an iron-hot hit is
+// refreshed. Promotion can cascade demotions: the iron tail falls to the
+// hot head, and the hot tail may fall out of the area. The returned level
+// is the entry's level after the read; ok is false when lpn is not
+// hot-area data.
+func (t *TwoLevelLRU) OnRead(lpn uint64) (lvl Level, demoted []Demotion, ok bool) {
+	if t.iron.touch(lpn, 0, false) {
+		return IronHot, nil, true
+	}
+	seq, tracked := t.hot.value(lpn)
+	if !tracked {
+		return 0, nil, false
+	}
+	t.hot.remove(lpn)
+	if ev, overflow := t.iron.insertFront(lpn, seq); overflow {
+		// Iron tail drops to the hot head ("demote if full")...
+		if ev2, overflow2 := t.hot.insertFront(ev.lpn, ev.val); overflow2 {
+			// ...which may push the hot tail out of the area.
+			demoted = append(demoted, Demotion{LPN: ev2.lpn, LastWrite: ev2.val})
+		}
+	}
+	return IronHot, demoted, true
+}
+
+// Demote moves an iron-hot entry down to the hot list, or removes a
+// hot-list entry from the area entirely, returning any cascaded demotion.
+// Used by the FTL when virtual-block pressure forces a demotion
+// (Figure 10b II: "demote when iron-hot data update").
+func (t *TwoLevelLRU) Demote(lpn uint64) []Demotion {
+	if seq, ok := t.iron.value(lpn); ok {
+		t.iron.remove(lpn)
+		if ev, overflow := t.hot.insertFront(lpn, seq); overflow {
+			return []Demotion{{LPN: ev.lpn, LastWrite: ev.val}}
+		}
+		return nil
+	}
+	if seq, ok := t.hot.value(lpn); ok {
+		t.hot.remove(lpn)
+		return []Demotion{{LPN: lpn, LastWrite: seq}}
+	}
+	return nil
+}
+
+// Remove forgets lpn entirely (e.g. the logical page was trimmed).
+func (t *TwoLevelLRU) Remove(lpn uint64) {
+	if !t.iron.remove(lpn) {
+		t.hot.remove(lpn)
+	}
+}
+
+// LastWrite returns the sequence number recorded for the entry's most
+// recent write. Used by the "demote if not modified" GC rule.
+func (t *TwoLevelLRU) LastWrite(lpn uint64) (uint64, bool) {
+	if v, ok := t.iron.value(lpn); ok {
+		return v, true
+	}
+	return t.hot.value(lpn)
+}
+
+// HotLen returns the number of tracked hot-list entries.
+func (t *TwoLevelLRU) HotLen() int { return t.hot.len() }
+
+// IronLen returns the number of tracked iron-hot entries.
+func (t *TwoLevelLRU) IronLen() int { return t.iron.len() }

@@ -1,0 +1,200 @@
+// Package metrics provides the counters, latency accumulators and
+// histograms shared by the device simulator, the FTLs and the experiment
+// harness.
+//
+// All types are plain values with useful zero states so they can be
+// embedded directly in simulator structs without constructors.
+package metrics
+
+import (
+	"fmt"
+	"time"
+)
+
+// Counter is a monotonically increasing event counter.
+type Counter uint64
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { *c++ }
+
+// Add adds n to the counter.
+func (c *Counter) Add(n uint64) { *c += Counter(n) }
+
+// Value returns the current count.
+func (c Counter) Value() uint64 { return uint64(c) }
+
+// Latency accumulates a total duration together with the number of
+// contributing operations, so both totals and means can be reported.
+type Latency struct {
+	Total time.Duration
+	Ops   uint64
+}
+
+// Observe adds one operation of duration d.
+func (l *Latency) Observe(d time.Duration) {
+	l.Total += d
+	l.Ops++
+}
+
+// Mean returns the average duration per operation, or zero when empty.
+func (l Latency) Mean() time.Duration {
+	if l.Ops == 0 {
+		return 0
+	}
+	return l.Total / time.Duration(l.Ops)
+}
+
+// Seconds returns the accumulated total in seconds.
+func (l Latency) Seconds() float64 { return l.Total.Seconds() }
+
+// Merge adds the contents of other into l.
+func (l *Latency) Merge(other Latency) {
+	l.Total += other.Total
+	l.Ops += other.Ops
+}
+
+// Enhancement returns the relative improvement of measured against a
+// baseline total: (baseline-measured)/baseline. Positive values mean
+// "measured is faster". Zero baseline yields zero.
+func Enhancement(baseline, measured time.Duration) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return float64(baseline-measured) / float64(baseline)
+}
+
+// Histogram is a fixed-bucket latency histogram. The zero value is not
+// usable; build one with NewHistogram.
+type Histogram struct {
+	bounds []time.Duration // len(bounds) = len(counts)-1; counts[i] holds d <= bounds[i]
+	counts []uint64
+	total  uint64
+	sum    time.Duration
+	min    time.Duration
+	max    time.Duration
+}
+
+// NewHistogram builds a histogram with the given ascending bucket upper
+// bounds. A final overflow bucket is added automatically.
+func NewHistogram(bounds ...time.Duration) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram bounds not ascending at %d", i))
+		}
+	}
+	b := make([]time.Duration, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]uint64, len(bounds)+1)}
+}
+
+// DefaultReadHistogram covers the microsecond range typical for NAND reads.
+func DefaultReadHistogram() *Histogram {
+	return NewHistogram(
+		10*time.Microsecond, 20*time.Microsecond, 40*time.Microsecond,
+		80*time.Microsecond, 160*time.Microsecond, 320*time.Microsecond,
+		640*time.Microsecond, 1280*time.Microsecond,
+	)
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	idx := len(h.bounds)
+	for i, b := range h.bounds {
+		if d <= b {
+			idx = i
+			break
+		}
+	}
+	h.counts[idx]++
+	h.total++
+	h.sum += d
+	if h.total == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of observed samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Sum returns the total of all observed samples.
+func (h *Histogram) Sum() time.Duration { return h.sum }
+
+// Min returns the smallest observed sample (zero when empty).
+func (h *Histogram) Min() time.Duration { return h.min }
+
+// Max returns the largest observed sample (zero when empty).
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Mean returns the average sample (zero when empty).
+func (h *Histogram) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.total)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) using
+// bucket upper bounds; the overflow bucket reports the observed max.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.total == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(h.total))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// Buckets returns copies of the bucket bounds and counts (the final count
+// is the overflow bucket).
+func (h *Histogram) Buckets() ([]time.Duration, []uint64) {
+	b := make([]time.Duration, len(h.bounds))
+	copy(b, h.bounds)
+	c := make([]uint64, len(h.counts))
+	copy(c, h.counts)
+	return b, c
+}
+
+// Merge adds all samples of other into h. Both histograms must have been
+// created with identical bounds.
+func (h *Histogram) Merge(other *Histogram) error {
+	if len(h.bounds) != len(other.bounds) {
+		return fmt.Errorf("metrics: merging histograms with %d vs %d bounds", len(h.bounds), len(other.bounds))
+	}
+	for i := range h.bounds {
+		if h.bounds[i] != other.bounds[i] {
+			return fmt.Errorf("metrics: merging histograms with different bound %d", i)
+		}
+	}
+	for i := range h.counts {
+		h.counts[i] += other.counts[i]
+	}
+	if other.total > 0 {
+		if h.total == 0 || other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+	h.total += other.total
+	h.sum += other.sum
+	return nil
+}

@@ -1,0 +1,199 @@
+package metrics
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("value = %d, want 5", c.Value())
+	}
+}
+
+func TestLatency(t *testing.T) {
+	var l Latency
+	if l.Mean() != 0 {
+		t.Error("empty mean should be zero")
+	}
+	l.Observe(10 * time.Millisecond)
+	l.Observe(30 * time.Millisecond)
+	if got := l.Mean(); got != 20*time.Millisecond {
+		t.Errorf("mean = %v, want 20ms", got)
+	}
+	if got := l.Seconds(); got != 0.04 {
+		t.Errorf("seconds = %v, want 0.04", got)
+	}
+	var m Latency
+	m.Observe(time.Second)
+	l.Merge(m)
+	if l.Ops != 3 || l.Total != time.Second+40*time.Millisecond {
+		t.Errorf("merge = %+v", l)
+	}
+}
+
+func TestEnhancement(t *testing.T) {
+	if got := Enhancement(100, 80); got != 0.2 {
+		t.Errorf("enhancement = %v, want 0.2", got)
+	}
+	if got := Enhancement(100, 120); got != -0.2 {
+		t.Errorf("regression = %v, want -0.2", got)
+	}
+	if got := Enhancement(0, 50); got != 0 {
+		t.Errorf("zero baseline = %v, want 0", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(10, 20, 40)
+	for _, d := range []time.Duration{5, 15, 35, 100} {
+		h.Observe(d)
+	}
+	if h.Count() != 4 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Min() != 5 || h.Max() != 100 {
+		t.Errorf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	if h.Sum() != 155 {
+		t.Errorf("sum = %v", h.Sum())
+	}
+	if h.Mean() != 155/4 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 3 || len(counts) != 4 {
+		t.Fatalf("buckets = %d bounds %d counts", len(bounds), len(counts))
+	}
+	for _, c := range counts {
+		if c != 1 {
+			t.Errorf("counts = %v, want all ones", counts)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(10, 20, 40)
+	for i := 0; i < 90; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(35)
+	}
+	if got := h.Quantile(0.5); got != 10 {
+		t.Errorf("p50 = %v, want bucket bound 10", got)
+	}
+	if got := h.Quantile(0.99); got != 40 {
+		t.Errorf("p99 = %v, want bucket bound 40", got)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("q0 = %v, want 0", got)
+	}
+	if got := h.Quantile(2); got != 40 {
+		t.Errorf("q>1 clamps to max bucket, got %v", got)
+	}
+	empty := NewHistogram(10)
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty quantile should be 0")
+	}
+}
+
+func TestHistogramOverflowQuantileUsesMax(t *testing.T) {
+	h := NewHistogram(10)
+	h.Observe(500)
+	if got := h.Quantile(1); got != 500 {
+		t.Errorf("overflow quantile = %v, want observed max 500", got)
+	}
+}
+
+func TestHistogramMergeChecksBounds(t *testing.T) {
+	a := NewHistogram(10, 20)
+	b := NewHistogram(10, 30)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging different bounds should fail")
+	}
+	c := NewHistogram(10, 20)
+	c.Observe(15)
+	a.Observe(5)
+	if err := a.Merge(c); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 2 || a.Min() != 5 || a.Max() != 15 {
+		t.Errorf("after merge: count=%d min=%v max=%v", a.Count(), a.Min(), a.Max())
+	}
+	d := NewHistogram(10, 20, 30)
+	if err := a.Merge(d); err == nil {
+		t.Fatal("merging different bound count should fail")
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for non-ascending bounds")
+		}
+	}()
+	NewHistogram(10, 10)
+}
+
+func TestDefaultReadHistogramCoversTableOne(t *testing.T) {
+	h := DefaultReadHistogram()
+	h.Observe(49 * time.Microsecond) // datasheet read
+	h.Observe(280 * time.Microsecond)
+	if h.Count() != 2 {
+		t.Error("samples lost")
+	}
+}
+
+// Property: histogram sum/count always match direct accumulation.
+func TestPropertyHistogramTotals(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := DefaultReadHistogram()
+		var sum time.Duration
+		n := rng.Intn(200)
+		for i := 0; i < n; i++ {
+			d := time.Duration(rng.Intn(2000)) * time.Microsecond
+			h.Observe(d)
+			sum += d
+		}
+		return h.Count() == uint64(n) && h.Sum() == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Figure X", "trace", "value")
+	tb.AddRow("media", 0.1856)
+	tb.AddRow("websql", 3.21e7)
+	tb.AddNote("scale=%d", 8)
+	out := tb.String()
+	for _, want := range []string{"Figure X", "media", "0.1856", "3.210e+07", "note: scale=8", "| trace "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		0.1856:  "0.1856",
+		3.21e7:  "3.210e+07",
+		-4.2e-5: "-4.200e-05",
+		12.5:    "12.5",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

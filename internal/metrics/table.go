@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a small text-table builder used by the harness to render the
+// per-figure result tables the way the paper reports them.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row. Cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a free-form footnote rendered under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// FormatFloat renders floats compactly: large magnitudes in scientific
+// notation (matching the paper's axis style), small ones with 4 significant
+// digits.
+func FormatFloat(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case av == 0:
+		return "0"
+	case av >= 1e5 || av < 1e-3:
+		return fmt.Sprintf("%.3e", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// String renders the table with aligned columns in a Markdown-compatible
+// layout.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		sb.WriteString("|")
+		for i := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			fmt.Fprintf(&sb, " %-*s |", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sb.WriteString("|")
+	for _, w := range widths {
+		sb.WriteString(strings.Repeat("-", w+2))
+		sb.WriteString("|")
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		sb.WriteString("  note: ")
+		sb.WriteString(n)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

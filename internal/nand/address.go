@@ -1,0 +1,59 @@
+package nand
+
+import "fmt"
+
+// PPN is a flat physical page number spanning all chips of a device:
+// ppn = blockID*PagesPerBlock + page, where blockID already spans chips.
+type PPN uint64
+
+// BlockID is a flat physical block number spanning all chips:
+// blockID = chip*BlocksPerChip + block.
+type BlockID uint32
+
+// Address identifies a page in chip/block/page coordinates.
+type Address struct {
+	Chip  int
+	Block int // block index within the chip
+	Page  int // page index within the block
+}
+
+// String renders the address as c/b/p.
+func (a Address) String() string {
+	return fmt.Sprintf("c%d/b%d/p%d", a.Chip, a.Block, a.Page)
+}
+
+// BlockOf returns the flat block id of an address under config c.
+func (c Config) BlockOf(a Address) BlockID {
+	return BlockID(a.Chip*c.BlocksPerChip + a.Block)
+}
+
+// PPNOf converts chip/block/page coordinates to a flat physical page number.
+func (c Config) PPNOf(a Address) PPN {
+	return PPN(uint64(c.BlockOf(a))*uint64(c.PagesPerBlock) + uint64(a.Page))
+}
+
+// AddressOf converts a flat physical page number back to coordinates.
+func (c Config) AddressOf(p PPN) Address {
+	block := uint64(p) / uint64(c.PagesPerBlock)
+	page := uint64(p) % uint64(c.PagesPerBlock)
+	return Address{
+		Chip:  int(block) / c.BlocksPerChip,
+		Block: int(block) % c.BlocksPerChip,
+		Page:  int(page),
+	}
+}
+
+// BlockAddress returns the chip-local coordinates of a flat block id.
+func (c Config) BlockAddress(b BlockID) (chip, block int) {
+	return int(b) / c.BlocksPerChip, int(b) % c.BlocksPerChip
+}
+
+// PPNForBlockPage builds a flat PPN from a flat block id and page index.
+func (c Config) PPNForBlockPage(b BlockID, page int) PPN {
+	return PPN(uint64(b)*uint64(c.PagesPerBlock) + uint64(page))
+}
+
+// SplitPPN returns the flat block id and page index of a PPN.
+func (c Config) SplitPPN(p PPN) (BlockID, int) {
+	return BlockID(uint64(p) / uint64(c.PagesPerBlock)), int(uint64(p) % uint64(c.PagesPerBlock))
+}

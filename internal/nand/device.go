@@ -1,0 +1,320 @@
+package nand
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ppbflash/internal/metrics"
+)
+
+// PageState tracks the FTL-visible lifecycle of a physical page.
+type PageState uint8
+
+// Page states.
+const (
+	PageFree PageState = iota // erased, never programmed since last erase
+	PageValid
+	PageInvalid
+)
+
+// String returns the state name.
+func (s PageState) String() string {
+	switch s {
+	case PageFree:
+		return "free"
+	case PageValid:
+		return "valid"
+	case PageInvalid:
+		return "invalid"
+	default:
+		return fmt.Sprintf("PageState(%d)", uint8(s))
+	}
+}
+
+// OOB is the out-of-band (spare area) metadata stored with each page.
+// The simulator does not store page payloads; Stamp lets tests verify
+// read-your-writes without 16 KB buffers.
+type OOB struct {
+	LPN   uint64 // logical page number of the stored data
+	Stamp uint64 // write version stamp, opaque to the device
+	Tag   uint8  // FTL-defined tag (PPB stores the hotness level here)
+}
+
+// Errors returned by device operations.
+var (
+	ErrOutOfRange     = errors.New("nand: address out of range")
+	ErrProgramOrder   = errors.New("nand: page programmed out of order")
+	ErrAlreadyWritten = errors.New("nand: page already programmed (erase-before-write)")
+	ErrReadFree       = errors.New("nand: reading a free page")
+	ErrEraseOpen      = errors.New("nand: erase validity bookkeeping broken")
+)
+
+// blockState is the per-block bookkeeping of the device.
+type blockState struct {
+	states     []PageState
+	oob        []OOB
+	nextPage   int // in-order programming cursor
+	eraseCount uint32
+	validPages int
+	invalid    int
+	lastProg   uint64 // global program sequence of the last program
+}
+
+// DeviceStats aggregates raw device-level activity.
+type DeviceStats struct {
+	Reads    metrics.Counter
+	Programs metrics.Counter
+	Erases   metrics.Counter
+	ReadTime metrics.Latency
+	ProgTime metrics.Latency
+	EraseTim metrics.Latency
+}
+
+// Device is a simulated 3D charge-trap NAND device. It is not safe for
+// concurrent use; simulations drive it from a single goroutine.
+type Device struct {
+	cfg     Config
+	blocks  []blockState
+	stats   DeviceStats
+	progSeq uint64 // global program counter (drives block age)
+}
+
+// NewDevice builds a device from a validated config.
+func NewDevice(cfg Config) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Device{cfg: cfg, blocks: make([]blockState, cfg.TotalBlocks())}
+	for i := range d.blocks {
+		d.blocks[i].states = make([]PageState, cfg.PagesPerBlock)
+		d.blocks[i].oob = make([]OOB, cfg.PagesPerBlock)
+	}
+	return d, nil
+}
+
+// MustNewDevice is NewDevice that panics on config errors; intended for
+// tests and examples with literal configs.
+func MustNewDevice(cfg Config) *Device {
+	d, err := NewDevice(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Stats returns a snapshot pointer of the device activity counters.
+func (d *Device) Stats() *DeviceStats { return &d.stats }
+
+func (d *Device) block(b BlockID) (*blockState, error) {
+	if int(b) >= len(d.blocks) {
+		return nil, fmt.Errorf("%w: block %d of %d", ErrOutOfRange, b, len(d.blocks))
+	}
+	return &d.blocks[b], nil
+}
+
+func (d *Device) pageCheck(b BlockID, page int) (*blockState, error) {
+	blk, err := d.block(b)
+	if err != nil {
+		return nil, err
+	}
+	if page < 0 || page >= d.cfg.PagesPerBlock {
+		return nil, fmt.Errorf("%w: page %d of %d", ErrOutOfRange, page, d.cfg.PagesPerBlock)
+	}
+	return blk, nil
+}
+
+// Read senses the page at ppn and returns its OOB metadata and the time
+// the operation takes (sense + transfer). Reading a free page is an error;
+// reading an invalid page is permitted (GC never needs it, but the device
+// does not forbid it).
+func (d *Device) Read(p PPN) (OOB, time.Duration, error) {
+	b, page := d.cfg.SplitPPN(p)
+	blk, err := d.pageCheck(b, page)
+	if err != nil {
+		return OOB{}, 0, err
+	}
+	if blk.states[page] == PageFree {
+		return OOB{}, 0, fmt.Errorf("%w: %v", ErrReadFree, d.cfg.AddressOf(p))
+	}
+	cost := d.cfg.ReadCost(page)
+	d.stats.Reads.Inc()
+	d.stats.ReadTime.Observe(cost)
+	return blk.oob[page], cost, nil
+}
+
+// Program writes OOB metadata into the page at ppn and returns the
+// operation time (transfer + program pulse). Pages within a block must be
+// programmed strictly in order, and a page cannot be programmed twice
+// between erases.
+func (d *Device) Program(p PPN, oob OOB) (time.Duration, error) {
+	b, page := d.cfg.SplitPPN(p)
+	blk, err := d.pageCheck(b, page)
+	if err != nil {
+		return 0, err
+	}
+	if blk.states[page] != PageFree {
+		return 0, fmt.Errorf("%w: %v", ErrAlreadyWritten, d.cfg.AddressOf(p))
+	}
+	if page != blk.nextPage {
+		return 0, fmt.Errorf("%w: %v (next programmable page is %d)",
+			ErrProgramOrder, d.cfg.AddressOf(p), blk.nextPage)
+	}
+	blk.states[page] = PageValid
+	blk.oob[page] = oob
+	blk.nextPage++
+	blk.validPages++
+	d.progSeq++
+	blk.lastProg = d.progSeq
+	cost := d.cfg.ProgramCost(page)
+	d.stats.Programs.Inc()
+	d.stats.ProgTime.Observe(cost)
+	return cost, nil
+}
+
+// Invalidate marks a previously valid page invalid (out-of-place update or
+// trim). It costs no device time: it is pure FTL bookkeeping.
+func (d *Device) Invalidate(p PPN) error {
+	b, page := d.cfg.SplitPPN(p)
+	blk, err := d.pageCheck(b, page)
+	if err != nil {
+		return err
+	}
+	if blk.states[page] != PageValid {
+		return fmt.Errorf("nand: invalidating %s page %v", blk.states[page], d.cfg.AddressOf(p))
+	}
+	blk.states[page] = PageInvalid
+	blk.validPages--
+	blk.invalid++
+	return nil
+}
+
+// Erase resets every page of the block to free and returns the erase time.
+// Erasing a block that still holds valid pages is legal NAND-wise but
+// almost always an FTL bug, so it is reported as an error unless force is
+// used via EraseForce.
+func (d *Device) Erase(b BlockID) (time.Duration, error) {
+	blk, err := d.block(b)
+	if err != nil {
+		return 0, err
+	}
+	if blk.validPages != 0 {
+		return 0, fmt.Errorf("nand: erasing block %d with %d valid pages", b, blk.validPages)
+	}
+	return d.eraseBlock(blk), nil
+}
+
+// EraseForce erases the block regardless of valid data; used by tests and
+// by formatting tools.
+func (d *Device) EraseForce(b BlockID) (time.Duration, error) {
+	blk, err := d.block(b)
+	if err != nil {
+		return 0, err
+	}
+	return d.eraseBlock(blk), nil
+}
+
+func (d *Device) eraseBlock(blk *blockState) time.Duration {
+	for i := range blk.states {
+		blk.states[i] = PageFree
+		blk.oob[i] = OOB{}
+	}
+	blk.nextPage = 0
+	blk.validPages = 0
+	blk.invalid = 0
+	blk.eraseCount++
+	d.stats.Erases.Inc()
+	d.stats.EraseTim.Observe(d.cfg.EraseLatency)
+	return d.cfg.EraseLatency
+}
+
+// State returns the state of the page at ppn.
+func (d *Device) State(p PPN) PageState {
+	b, page := d.cfg.SplitPPN(p)
+	if int(b) >= len(d.blocks) || page >= d.cfg.PagesPerBlock {
+		return PageFree
+	}
+	return d.blocks[b].states[page]
+}
+
+// PeekOOB returns the stored OOB without paying read cost (simulator
+// introspection; FTLs use it only during GC scans, which real controllers
+// amortize by reading OOB-only).
+func (d *Device) PeekOOB(p PPN) OOB {
+	b, page := d.cfg.SplitPPN(p)
+	return d.blocks[b].oob[page]
+}
+
+// NextPage returns the in-order programming cursor of a block.
+func (d *Device) NextPage(b BlockID) int { return d.blocks[b].nextPage }
+
+// ValidPages returns how many pages of the block are valid.
+func (d *Device) ValidPages(b BlockID) int { return d.blocks[b].validPages }
+
+// InvalidPages returns how many pages of the block are invalid.
+func (d *Device) InvalidPages(b BlockID) int { return d.blocks[b].invalid }
+
+// FreePages returns how many pages of the block are still programmable.
+func (d *Device) FreePages(b BlockID) int {
+	return d.cfg.PagesPerBlock - d.blocks[b].nextPage
+}
+
+// EraseCount returns the block's program/erase cycle count.
+func (d *Device) EraseCount(b BlockID) uint32 { return d.blocks[b].eraseCount }
+
+// BlockAge returns how many device-wide page programs have happened since
+// the block was last programmed — the "age" term of cost-benefit garbage
+// collection victim selection.
+func (d *Device) BlockAge(b BlockID) uint64 { return d.progSeq - d.blocks[b].lastProg }
+
+// TotalErases returns the device-wide erase count.
+func (d *Device) TotalErases() uint64 { return d.stats.Erases.Value() }
+
+// MaxEraseCount returns the highest per-block erase count (wear skew probe).
+func (d *Device) MaxEraseCount() uint32 {
+	var max uint32
+	for i := range d.blocks {
+		if d.blocks[i].eraseCount > max {
+			max = d.blocks[i].eraseCount
+		}
+	}
+	return max
+}
+
+// CheckAccounting verifies that per-block page-state counters agree with
+// the page arrays. It returns the first inconsistency found and is used by
+// property tests (invariant 5 of DESIGN.md).
+func (d *Device) CheckAccounting() error {
+	for bi := range d.blocks {
+		blk := &d.blocks[bi]
+		var valid, invalid, free int
+		for p, s := range blk.states {
+			switch s {
+			case PageValid:
+				valid++
+			case PageInvalid:
+				invalid++
+			default:
+				free = free + 1
+				if p < blk.nextPage {
+					return fmt.Errorf("nand: block %d page %d free below cursor %d", bi, p, blk.nextPage)
+				}
+			}
+			if s != PageFree && p >= blk.nextPage {
+				return fmt.Errorf("nand: block %d page %d %s above cursor %d", bi, p, s, blk.nextPage)
+			}
+		}
+		if valid != blk.validPages || invalid != blk.invalid {
+			return fmt.Errorf("nand: block %d counted v=%d i=%d, cached v=%d i=%d",
+				bi, valid, invalid, blk.validPages, blk.invalid)
+		}
+		if valid+invalid+free != d.cfg.PagesPerBlock {
+			return fmt.Errorf("nand: block %d pages do not sum: %d+%d+%d != %d",
+				bi, valid, invalid, free, d.cfg.PagesPerBlock)
+		}
+	}
+	return nil
+}

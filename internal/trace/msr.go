@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The MSR Cambridge trace format is CSV with one request per line:
+//
+//	Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+//
+// Timestamp and ResponseTime are in Windows filetime units (100 ns ticks);
+// Type is "Read" or "Write"; Offset and Size are bytes.
+
+const filetimeTick = 100 * time.Nanosecond
+
+// MSRRecord is a fully parsed MSR trace line, including the fields the
+// simulator itself does not consume.
+type MSRRecord struct {
+	Request
+	Hostname     string
+	DiskNumber   int
+	ResponseTime time.Duration
+}
+
+// MSRReader streams requests from an MSR Cambridge CSV trace. Lines with
+// the wrong field count or unparsable numbers are reported as errors with
+// their line number.
+type MSRReader struct {
+	s     *bufio.Scanner
+	line  int
+	base  int64 // first timestamp, to rebase Time to trace start
+	begun bool
+	disk  int  // only this disk number is returned when filter is set
+	filt  bool // whether disk filtering is enabled
+}
+
+// NewMSRReader wraps r for streaming reads of MSR CSV records.
+func NewMSRReader(r io.Reader) *MSRReader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 64*1024), 1024*1024)
+	return &MSRReader{s: s}
+}
+
+// FilterDisk restricts Next to records of one disk number (MSR traces
+// multiplex several volumes per host).
+func (m *MSRReader) FilterDisk(disk int) *MSRReader {
+	m.disk = disk
+	m.filt = true
+	return m
+}
+
+// Next returns the next record, or io.EOF at end of trace.
+func (m *MSRReader) Next() (MSRRecord, error) {
+	for m.s.Scan() {
+		m.line++
+		line := strings.TrimSpace(m.s.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rec, err := parseMSRLine(line)
+		if err != nil {
+			return MSRRecord{}, fmt.Errorf("trace: line %d: %w", m.line, err)
+		}
+		if m.filt && rec.DiskNumber != m.disk {
+			continue
+		}
+		ts := rec.Request.Time
+		if !m.begun {
+			m.begun = true
+			m.base = int64(ts)
+		}
+		rec.Request.Time = time.Duration(int64(ts) - m.base)
+		return rec, nil
+	}
+	if err := m.s.Err(); err != nil {
+		return MSRRecord{}, err
+	}
+	return MSRRecord{}, io.EOF
+}
+
+// ReadAll consumes the stream into a request slice.
+func (m *MSRReader) ReadAll() ([]Request, error) {
+	var out []Request
+	for {
+		rec, err := m.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec.Request)
+	}
+}
+
+func parseMSRLine(line string) (MSRRecord, error) {
+	fields := strings.Split(line, ",")
+	if len(fields) != 7 {
+		return MSRRecord{}, fmt.Errorf("expected 7 fields, got %d", len(fields))
+	}
+	ts, err := strconv.ParseInt(strings.TrimSpace(fields[0]), 10, 64)
+	if err != nil {
+		return MSRRecord{}, fmt.Errorf("timestamp: %w", err)
+	}
+	disk, err := strconv.Atoi(strings.TrimSpace(fields[2]))
+	if err != nil {
+		return MSRRecord{}, fmt.Errorf("disk number: %w", err)
+	}
+	var op Op
+	switch strings.ToLower(strings.TrimSpace(fields[3])) {
+	case "read":
+		op = OpRead
+	case "write":
+		op = OpWrite
+	default:
+		return MSRRecord{}, fmt.Errorf("unknown op %q", fields[3])
+	}
+	off, err := strconv.ParseUint(strings.TrimSpace(fields[4]), 10, 64)
+	if err != nil {
+		return MSRRecord{}, fmt.Errorf("offset: %w", err)
+	}
+	size, err := strconv.ParseUint(strings.TrimSpace(fields[5]), 10, 32)
+	if err != nil {
+		return MSRRecord{}, fmt.Errorf("size: %w", err)
+	}
+	if size == 0 {
+		return MSRRecord{}, fmt.Errorf("zero-size request")
+	}
+	resp, err := strconv.ParseInt(strings.TrimSpace(fields[6]), 10, 64)
+	if err != nil {
+		return MSRRecord{}, fmt.Errorf("response time: %w", err)
+	}
+	return MSRRecord{
+		Request: Request{
+			Time:   time.Duration(ts) * filetimeTick,
+			Op:     op,
+			Offset: off,
+			Size:   uint32(size),
+		},
+		Hostname:     strings.TrimSpace(fields[1]),
+		DiskNumber:   disk,
+		ResponseTime: time.Duration(resp) * filetimeTick,
+	}, nil
+}
+
+// MSRWriter serializes requests in MSR Cambridge CSV format.
+type MSRWriter struct {
+	w        *bufio.Writer
+	hostname string
+	disk     int
+}
+
+// NewMSRWriter creates a writer labeling records with the given hostname
+// and disk number.
+func NewMSRWriter(w io.Writer, hostname string, disk int) *MSRWriter {
+	return &MSRWriter{w: bufio.NewWriter(w), hostname: hostname, disk: disk}
+}
+
+// Write emits one request as an MSR CSV line.
+func (w *MSRWriter) Write(r Request) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w.w, "%d,%s,%d,%s,%d,%d,%d\n",
+		int64(r.Time/filetimeTick), w.hostname, w.disk, r.Op, r.Offset, r.Size, 0)
+	return err
+}
+
+// Flush flushes buffered output.
+func (w *MSRWriter) Flush() error { return w.w.Flush() }
+
+// WriteMSR writes all requests and flushes.
+func WriteMSR(w io.Writer, hostname string, disk int, reqs []Request) error {
+	mw := NewMSRWriter(w, hostname, disk)
+	for _, r := range reqs {
+		if err := mw.Write(r); err != nil {
+			return err
+		}
+	}
+	return mw.Flush()
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The simple format is whitespace-separated "R|W offset size" lines with
+// '#' comments — convenient for hand-written test fixtures and quick
+// experiments with cmd/flashsim.
+
+// ParseSimple reads the whole simple-format stream.
+func ParseSimple(r io.Reader) ([]Request, error) {
+	var out []Request
+	s := bufio.NewScanner(r)
+	line := 0
+	for s.Scan() {
+		line++
+		text := strings.TrimSpace(s.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		req, err := parseSimpleLine(text)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, req)
+	}
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseSimpleLine(text string) (Request, error) {
+	fields := strings.Fields(text)
+	if len(fields) != 3 {
+		return Request{}, fmt.Errorf("expected 'R|W offset size', got %q", text)
+	}
+	var op Op
+	switch strings.ToUpper(fields[0]) {
+	case "R", "READ":
+		op = OpRead
+	case "W", "WRITE":
+		op = OpWrite
+	default:
+		return Request{}, fmt.Errorf("unknown op %q", fields[0])
+	}
+	off, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return Request{}, fmt.Errorf("offset: %w", err)
+	}
+	size, err := strconv.ParseUint(fields[2], 10, 32)
+	if err != nil {
+		return Request{}, fmt.Errorf("size: %w", err)
+	}
+	if size == 0 {
+		return Request{}, fmt.Errorf("zero-size request")
+	}
+	return Request{Op: op, Offset: off, Size: uint32(size)}, nil
+}
+
+// WriteSimple writes requests in the simple format.
+func WriteSimple(w io.Writer, reqs []Request) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range reqs {
+		op := "R"
+		if r.Op == OpWrite {
+			op = "W"
+		}
+		if _, err := fmt.Fprintf(bw, "%s %d %d\n", op, r.Offset, r.Size); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,115 @@
+// Package trace defines the block-level I/O request model used by the
+// simulator and implements readers/writers for the MSR Cambridge trace
+// format (Narayanan et al., "Write Off-Loading", ToS 2008), the trace
+// family the paper replays, plus a compact whitespace format for
+// hand-written fixtures.
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// Op is a request direction.
+type Op uint8
+
+// Request directions.
+const (
+	OpRead Op = iota
+	OpWrite
+)
+
+// String returns "Read" or "Write" (matching MSR CSV spelling).
+func (o Op) String() string {
+	if o == OpRead {
+		return "Read"
+	}
+	return "Write"
+}
+
+// Request is one block-level I/O.
+type Request struct {
+	// Time is the request arrival time relative to trace start. The
+	// simulator is closed-loop (requests are replayed back to back), so
+	// Time is carried for fidelity but does not gate replay.
+	Time time.Duration
+	// Op is the direction.
+	Op Op
+	// Offset is the starting byte offset on the logical disk.
+	Offset uint64
+	// Size is the request length in bytes.
+	Size uint32
+}
+
+// End returns the first byte offset after the request.
+func (r Request) End() uint64 { return r.Offset + uint64(r.Size) }
+
+// Validate reports malformed requests (zero size).
+func (r Request) Validate() error {
+	if r.Size == 0 {
+		return fmt.Errorf("trace: zero-size %s at offset %d", r.Op, r.Offset)
+	}
+	return nil
+}
+
+// Pages returns the page-aligned logical page span [first, last] covered
+// by the request for the given page size.
+func (r Request) Pages(pageSize int) (first, last uint64) {
+	ps := uint64(pageSize)
+	first = r.Offset / ps
+	last = (r.End() - 1) / ps
+	return first, last
+}
+
+// PageCount returns how many pages of the given size the request touches.
+func (r Request) PageCount(pageSize int) int {
+	first, last := r.Pages(pageSize)
+	return int(last - first + 1)
+}
+
+// Stats summarizes a request stream; used by workload tests and by
+// cmd/tracegen to describe generated traces.
+type Stats struct {
+	Requests    int
+	Reads       int
+	Writes      int
+	ReadBytes   uint64
+	WriteBytes  uint64
+	MaxEnd      uint64
+	SmallWrites int // writes below 16 KB, the size-check hot signal
+}
+
+// Observe folds one request into the stats.
+func (s *Stats) Observe(r Request) {
+	s.Requests++
+	if r.Op == OpRead {
+		s.Reads++
+		s.ReadBytes += uint64(r.Size)
+	} else {
+		s.Writes++
+		s.WriteBytes += uint64(r.Size)
+		if r.Size < 16*1024 {
+			s.SmallWrites++
+		}
+	}
+	if r.End() > s.MaxEnd {
+		s.MaxEnd = r.End()
+	}
+}
+
+// ReadRatio returns the fraction of read requests.
+func (s Stats) ReadRatio() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Reads) / float64(s.Requests)
+}
+
+// Summarize consumes all requests of a slice into Stats.
+func Summarize(reqs []Request) Stats {
+	var s Stats
+	for _, r := range reqs {
+		s.Observe(r)
+	}
+	return s
+}

@@ -1,0 +1,420 @@
+// Package vblock implements the paper's virtual-block concept (§3.3):
+// each physical block is split into K virtual blocks (VBs) of adjacent
+// page speed — with the default K=2, VB 2n covers the slow first half of
+// block n and VB 2n+1 the fast second half.
+//
+// The manager enforces the paper's allocation constraints:
+//
+//   - VBs of one physical block may only serve a single pool, so garbage
+//     collection never meets mixed blocks (Figure 8). A pool is the
+//     paper's hot or cold area; strategies may subdivide areas into
+//     several pools (e.g. separating host writes from GC relocations)
+//     without weakening the paper's pairing constraint.
+//   - Because NAND pages program strictly in order, a later VB can only
+//     be allocated after the earlier VB of the same block is fully used
+//     (Figure 9's lifecycle: Free -> VB 2n allocated -> VB 2n filled ->
+//     VB 2n+1 allocatable -> block full -> waiting for GC).
+//   - Free blocks are handed out lowest-numbered first ("arranged
+//     according to their original physical block number").
+package vblock
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"ppbflash/internal/nand"
+)
+
+// VB identifies one virtual block: a contiguous page range of a physical
+// block. Part 0 is the slowest range.
+type VB struct {
+	Block nand.BlockID
+	Part  int
+	Start int // first page (inclusive)
+	End   int // last page (exclusive)
+}
+
+// ID returns the paper's virtual block number (block*K + part).
+func (v VB) ID(k int) uint64 { return uint64(v.Block)*uint64(k) + uint64(v.Part) }
+
+// String renders the VB for diagnostics.
+func (v VB) String() string {
+	return fmt.Sprintf("vb(b%d/p%d pages %d-%d)", v.Block, v.Part, v.Start, v.End-1)
+}
+
+// blockPhase tracks where a block is in the Figure 9 lifecycle.
+type blockPhase uint8
+
+const (
+	phaseFree  blockPhase = iota
+	phaseOwned            // at least one VB allocated, block not yet full
+	phaseFull             // all pages programmed; waiting for GC
+)
+
+type blockInfo struct {
+	phase     blockPhase
+	pool      int
+	allocated int  // number of parts handed out
+	cursor    int  // next page to program
+	pending   bool // block sits in its pool's pending queue
+}
+
+// Errors reported for manager misuse.
+var (
+	ErrNoFreeBlocks = errors.New("vblock: no free blocks")
+	ErrBadPool      = errors.New("vblock: pool index out of range")
+	ErrNotFull      = errors.New("vblock: releasing a block that is not full")
+	ErrBlockFull    = errors.New("vblock: advancing a full block")
+	ErrNoOpenPart   = errors.New("vblock: advancing past the open part")
+)
+
+// Manager tracks VB allocation across all blocks of a device config.
+type Manager struct {
+	cfg      nand.Config
+	k        int
+	partLen  int
+	blocks   []blockInfo
+	free     intHeap
+	pendingQ [][]nand.BlockID // FIFO of blocks whose next part is allocatable, per pool
+	fullCnt  int
+}
+
+// NewManager builds a manager splitting every block into k virtual
+// blocks, allocating to the given number of independent pools.
+// PagesPerBlock must be divisible by k, and k must be even or 1 so the
+// slow/fast groups are well defined.
+func NewManager(cfg nand.Config, k, pools int) (*Manager, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("vblock: split factor %d < 1", k)
+	}
+	if pools < 1 {
+		return nil, fmt.Errorf("vblock: pool count %d < 1", pools)
+	}
+	if cfg.PagesPerBlock%k != 0 {
+		return nil, fmt.Errorf("vblock: PagesPerBlock %d not divisible by split factor %d", cfg.PagesPerBlock, k)
+	}
+	if k > 1 && k%2 != 0 {
+		return nil, fmt.Errorf("vblock: split factor %d must be even (slow/fast halves)", k)
+	}
+	m := &Manager{
+		cfg:      cfg,
+		k:        k,
+		partLen:  cfg.PagesPerBlock / k,
+		blocks:   make([]blockInfo, cfg.TotalBlocks()),
+		pendingQ: make([][]nand.BlockID, pools),
+	}
+	m.free = make(intHeap, cfg.TotalBlocks())
+	for i := range m.free {
+		m.free[i] = i
+	}
+	heap.Init(&m.free)
+	return m, nil
+}
+
+// K returns the split factor.
+func (m *Manager) K() int { return m.k }
+
+// PartRange returns the page span [start, end) of a part.
+func (m *Manager) PartRange(part int) (start, end int) {
+	return part * m.partLen, (part + 1) * m.partLen
+}
+
+// PartOf returns the part index containing the given page.
+func (m *Manager) PartOf(page int) int { return page / m.partLen }
+
+// FastPart reports whether the part belongs to the fast group (the later
+// k/2 parts). With k=1 there is no fast group.
+func (m *Manager) FastPart(part int) bool {
+	if m.k == 1 {
+		return false
+	}
+	return part >= m.k/2
+}
+
+// vb builds the VB value for a block and part.
+func (m *Manager) vb(b nand.BlockID, part int) VB {
+	s, e := m.PartRange(part)
+	return VB{Block: b, Part: part, Start: s, End: e}
+}
+
+// FreeBlocks returns how many blocks are in the free pool.
+func (m *Manager) FreeBlocks() int { return m.free.Len() }
+
+// FullBlocks returns how many blocks are completely programmed and
+// waiting for GC.
+func (m *Manager) FullBlocks() int { return m.fullCnt }
+
+// Pools returns the number of allocation pools.
+func (m *Manager) Pools() int { return len(m.pendingQ) }
+
+func (m *Manager) checkPool(pool int) error {
+	if pool < 0 || pool >= len(m.pendingQ) {
+		return fmt.Errorf("%w: %d of %d", ErrBadPool, pool, len(m.pendingQ))
+	}
+	return nil
+}
+
+// PendingCount returns how many blocks of the pool have a part ready to
+// open.
+func (m *Manager) PendingCount(pool int) int { return len(m.pendingQ[pool]) }
+
+// PendingCountGroup returns how many pending blocks of the pool have a
+// next part in the requested speed group.
+func (m *Manager) PendingCountGroup(pool int, fast bool) int {
+	n := 0
+	for _, b := range m.pendingQ[pool] {
+		if m.FastPart(m.blocks[b].allocated) == fast {
+			n++
+		}
+	}
+	return n
+}
+
+// PoolOf returns the owning pool of a block; ok is false for free blocks.
+func (m *Manager) PoolOf(b nand.BlockID) (int, bool) {
+	bi := &m.blocks[b]
+	if bi.phase == phaseFree {
+		return 0, false
+	}
+	return bi.pool, true
+}
+
+// Cursor returns the next page to program in the block.
+func (m *Manager) Cursor(b nand.BlockID) int { return m.blocks[b].cursor }
+
+// IsFull reports whether the block is fully programmed.
+func (m *Manager) IsFull(b nand.BlockID) bool { return m.blocks[b].phase == phaseFull }
+
+// AllocateFirst takes the lowest-numbered free block, assigns it to the
+// pool and returns its slow part 0 VB.
+func (m *Manager) AllocateFirst(pool int) (VB, error) {
+	if err := m.checkPool(pool); err != nil {
+		return VB{}, err
+	}
+	if m.free.Len() == 0 {
+		return VB{}, ErrNoFreeBlocks
+	}
+	b := nand.BlockID(heap.Pop(&m.free).(int))
+	bi := &m.blocks[b]
+	*bi = blockInfo{phase: phaseOwned, pool: pool, allocated: 1, cursor: 0}
+	return m.vb(b, 0), nil
+}
+
+// OpenPending pops the oldest block of the pool whose next part became
+// allocatable and opens that part. ok is false when no block is pending.
+func (m *Manager) OpenPending(pool int) (VB, bool) {
+	q := m.pendingQ[pool]
+	if len(q) == 0 {
+		return VB{}, false
+	}
+	b := q[0]
+	m.pendingQ[pool] = q[1:]
+	bi := &m.blocks[b]
+	bi.pending = false
+	part := bi.allocated
+	bi.allocated++
+	return m.vb(b, part), true
+}
+
+// OpenPendingGroup behaves like OpenPending but only considers blocks
+// whose next part belongs to the requested speed group (fast or slow).
+// With k=2 a pending part is always fast, so this matters only for k>2
+// where a block's second slow part is also reached through the pending
+// queue.
+func (m *Manager) OpenPendingGroup(pool int, fast bool) (VB, bool) {
+	q := m.pendingQ[pool]
+	for i, b := range q {
+		bi := &m.blocks[b]
+		if m.FastPart(bi.allocated) != fast {
+			continue
+		}
+		m.pendingQ[pool] = append(append([]nand.BlockID{}, q[:i]...), q[i+1:]...)
+		bi.pending = false
+		part := bi.allocated
+		bi.allocated++
+		return m.vb(b, part), true
+	}
+	return VB{}, false
+}
+
+// Advance consumes the next programmable page of the block's open part.
+// It returns the page index to program, whether this fills the open part
+// (vbFull) and whether it fills the whole block (blockFull). When a part
+// fills and later parts remain, the block joins its area's pending queue.
+func (m *Manager) Advance(b nand.BlockID) (page int, vbFull, blockFull bool, err error) {
+	bi := &m.blocks[b]
+	switch {
+	case bi.phase == phaseFree:
+		return 0, false, false, fmt.Errorf("vblock: advancing free block %d", b)
+	case bi.phase == phaseFull:
+		return 0, false, false, fmt.Errorf("%w: block %d", ErrBlockFull, b)
+	case bi.cursor >= bi.allocated*m.partLen:
+		return 0, false, false, fmt.Errorf("%w: block %d cursor %d, %d parts allocated",
+			ErrNoOpenPart, b, bi.cursor, bi.allocated)
+	}
+	page = bi.cursor
+	bi.cursor++
+	if bi.cursor%m.partLen == 0 { // the open part just filled
+		vbFull = true
+		if bi.allocated == m.k && bi.cursor == m.cfg.PagesPerBlock {
+			bi.phase = phaseFull
+			m.fullCnt++
+			blockFull = true
+		} else if !bi.pending {
+			bi.pending = true
+			m.pendingQ[bi.pool] = append(m.pendingQ[bi.pool], b)
+		}
+	}
+	return page, vbFull, blockFull, nil
+}
+
+// UnqueuePending removes the block from its area's pending queue without
+// releasing it. GC calls this before collecting a partially-used victim
+// so relocations cannot be routed into the victim's own unallocated
+// parts.
+func (m *Manager) UnqueuePending(b nand.BlockID) {
+	bi := &m.blocks[b]
+	if !bi.pending {
+		return
+	}
+	q := m.pendingQ[bi.pool]
+	for i, blk := range q {
+		if blk == b {
+			m.pendingQ[bi.pool] = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	bi.pending = false
+}
+
+// Release returns an erased block to the free pool. Only full blocks are
+// released in normal operation; use ReleaseForce for partially used
+// blocks (GC under free-space starvation).
+func (m *Manager) Release(b nand.BlockID) error {
+	bi := &m.blocks[b]
+	if bi.phase != phaseFull {
+		return fmt.Errorf("%w: block %d phase %d", ErrNotFull, b, bi.phase)
+	}
+	m.fullCnt--
+	*bi = blockInfo{}
+	heap.Push(&m.free, int(b))
+	return nil
+}
+
+// ReleaseForce returns any owned block to the free pool, scrubbing it
+// from the pending queue if necessary.
+func (m *Manager) ReleaseForce(b nand.BlockID) error {
+	bi := &m.blocks[b]
+	if bi.phase == phaseFree {
+		return fmt.Errorf("vblock: releasing free block %d", b)
+	}
+	if bi.phase == phaseFull {
+		m.fullCnt--
+	}
+	if bi.pending {
+		q := m.pendingQ[bi.pool]
+		for i, blk := range q {
+			if blk == b {
+				m.pendingQ[bi.pool] = append(q[:i], q[i+1:]...)
+				break
+			}
+		}
+	}
+	*bi = blockInfo{}
+	heap.Push(&m.free, int(b))
+	return nil
+}
+
+// ForEachFull calls fn for every full block until fn returns false.
+func (m *Manager) ForEachFull(fn func(nand.BlockID) bool) {
+	for i := range m.blocks {
+		if m.blocks[i].phase == phaseFull {
+			if !fn(nand.BlockID(i)) {
+				return
+			}
+		}
+	}
+}
+
+// ForEachOwned calls fn for every non-free block (owned or full) until fn
+// returns false. Used by starved GC to consider partially used victims.
+func (m *Manager) ForEachOwned(fn func(nand.BlockID) bool) {
+	for i := range m.blocks {
+		if m.blocks[i].phase != phaseFree {
+			if !fn(nand.BlockID(i)) {
+				return
+			}
+		}
+	}
+}
+
+// CheckInvariants validates internal consistency (used by property
+// tests): cursor within allocated parts, pending flags matching queues,
+// and pool counts summing to the block count.
+func (m *Manager) CheckInvariants() error {
+	inQueue := make(map[nand.BlockID]int)
+	for pool, q := range m.pendingQ {
+		for _, b := range q {
+			if _, dup := inQueue[b]; dup {
+				return fmt.Errorf("vblock: block %d queued twice", b)
+			}
+			inQueue[b] = pool
+		}
+	}
+	var full int
+	for i := range m.blocks {
+		b := nand.BlockID(i)
+		bi := &m.blocks[i]
+		qPool, queued := inQueue[b]
+		if queued != bi.pending {
+			return fmt.Errorf("vblock: block %d pending flag %v but queued %v", b, bi.pending, queued)
+		}
+		if queued && qPool != bi.pool {
+			return fmt.Errorf("vblock: block %d queued under wrong pool", b)
+		}
+		switch bi.phase {
+		case phaseFree:
+			if bi.allocated != 0 || bi.cursor != 0 || bi.pending {
+				return fmt.Errorf("vblock: free block %d has state %+v", b, *bi)
+			}
+		case phaseOwned:
+			if bi.allocated < 1 || bi.allocated > m.k {
+				return fmt.Errorf("vblock: block %d allocated %d of %d parts", b, bi.allocated, m.k)
+			}
+			if bi.cursor > bi.allocated*m.partLen {
+				return fmt.Errorf("vblock: block %d cursor %d beyond allocated parts", b, bi.cursor)
+			}
+			if bi.pending && bi.cursor != bi.allocated*m.partLen {
+				return fmt.Errorf("vblock: block %d pending but open part not full", b)
+			}
+		case phaseFull:
+			full++
+			if bi.cursor != m.cfg.PagesPerBlock || bi.allocated != m.k {
+				return fmt.Errorf("vblock: full block %d cursor %d allocated %d", b, bi.cursor, bi.allocated)
+			}
+			if bi.pending {
+				return fmt.Errorf("vblock: full block %d still pending", b)
+			}
+		}
+	}
+	if full != m.fullCnt {
+		return fmt.Errorf("vblock: full count %d, cached %d", full, m.fullCnt)
+	}
+	return nil
+}
+
+// intHeap is a min-heap of block indices (lowest block number first).
+type intHeap []int
+
+func (h intHeap) Len() int           { return len(h) }
+func (h intHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x any)        { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

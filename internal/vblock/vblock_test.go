@@ -1,0 +1,395 @@
+package vblock
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ppbflash/internal/nand"
+)
+
+func testConfig() nand.Config {
+	return nand.Config{
+		PageSize:            4096,
+		PagesPerBlock:       8,
+		BlocksPerChip:       6,
+		Chips:               1,
+		Layers:              4,
+		SpeedRatio:          2,
+		ReadLatency:         40 * time.Microsecond,
+		ProgramLatency:      400 * time.Microsecond,
+		EraseLatency:        4 * time.Millisecond,
+		TransferBytesPerSec: 512e6,
+	}
+}
+
+const (
+	poolHot  = 0
+	poolCold = 1
+)
+
+func newTestManager(t *testing.T, k int) *Manager {
+	t.Helper()
+	m, err := NewManager(testConfig(), k, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	cfg := testConfig()
+	if _, err := NewManager(cfg, 0, 2); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := NewManager(cfg, 3, 2); err == nil {
+		t.Error("odd k>1 should fail")
+	}
+	if _, err := NewManager(cfg, 16, 2); err == nil {
+		t.Error("k not dividing pages should fail")
+	}
+	if _, err := NewManager(cfg, 1, 2); err != nil {
+		t.Errorf("k=1 (no split) should be allowed: %v", err)
+	}
+	if _, err := NewManager(cfg, 8, 2); err != nil {
+		t.Errorf("k=8: %v", err)
+	}
+}
+
+func TestPartGeometry(t *testing.T) {
+	m := newTestManager(t, 2)
+	if s, e := m.PartRange(0); s != 0 || e != 4 {
+		t.Errorf("part 0 = [%d,%d), want [0,4)", s, e)
+	}
+	if s, e := m.PartRange(1); s != 4 || e != 8 {
+		t.Errorf("part 1 = [%d,%d), want [4,8)", s, e)
+	}
+	if m.PartOf(3) != 0 || m.PartOf(4) != 1 {
+		t.Error("PartOf wrong")
+	}
+	if m.FastPart(0) || !m.FastPart(1) {
+		t.Error("with k=2: part 0 slow, part 1 fast")
+	}
+	m4 := newTestManager(t, 4)
+	if m4.FastPart(1) || !m4.FastPart(2) {
+		t.Error("with k=4: parts 0,1 slow; 2,3 fast")
+	}
+	m1 := newTestManager(t, 1)
+	if m1.FastPart(0) {
+		t.Error("with k=1 there is no fast part")
+	}
+}
+
+func TestAllocateFirstLowestBlockFirst(t *testing.T) {
+	m := newTestManager(t, 2)
+	vb, err := m.AllocateFirst(poolHot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vb.Block != 0 || vb.Part != 0 {
+		t.Errorf("first allocation = %v, want block 0 part 0", vb)
+	}
+	if vb.ID(2) != 0 {
+		t.Errorf("VB id = %d, want 0", vb.ID(2))
+	}
+	vb2, err := m.AllocateFirst(poolCold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vb2.Block != 1 {
+		t.Errorf("second allocation = %v, want block 1", vb2)
+	}
+	if vb2.ID(2) != 2 {
+		t.Errorf("VB id = %d, want 2 (paper numbering: block*2)", vb2.ID(2))
+	}
+	if a, ok := m.PoolOf(0); !ok || a != poolHot {
+		t.Error("block 0 should be hot-owned")
+	}
+	if a, ok := m.PoolOf(1); !ok || a != poolCold {
+		t.Error("block 1 should be cold-owned")
+	}
+	if _, ok := m.PoolOf(2); ok {
+		t.Error("block 2 should be free")
+	}
+	if m.FreeBlocks() != 4 {
+		t.Errorf("free = %d, want 4", m.FreeBlocks())
+	}
+}
+
+func TestAllocateFirstExhaustion(t *testing.T) {
+	m := newTestManager(t, 2)
+	for i := 0; i < 6; i++ {
+		if _, err := m.AllocateFirst(poolHot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.AllocateFirst(poolHot); !errors.Is(err, ErrNoFreeBlocks) {
+		t.Errorf("err = %v, want ErrNoFreeBlocks", err)
+	}
+}
+
+// fill programs n pages through Advance, asserting no error.
+func fill(t *testing.T, m *Manager, b nand.BlockID, n int) (lastVBFull, lastBlockFull bool) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		_, vbFull, blockFull, err := m.Advance(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastVBFull, lastBlockFull = vbFull, blockFull
+	}
+	return lastVBFull, lastBlockFull
+}
+
+func TestLifecycleFigureNine(t *testing.T) {
+	m := newTestManager(t, 2)
+	vb, err := m.AllocateFirst(poolHot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := vb.Block
+
+	// While VB 2n is filling, VB 2n+1 must not be allocatable.
+	fill(t, m, b, 3)
+	if _, ok := m.OpenPending(poolHot); ok {
+		t.Fatal("fast VB opened before slow VB was full")
+	}
+	// Advancing past the open part without allocating the next one fails.
+	vbFull, blockFull := fill(t, m, b, 1) // page 3 fills part 0
+	if !vbFull || blockFull {
+		t.Fatalf("part 0 fill: vbFull=%v blockFull=%v", vbFull, blockFull)
+	}
+	if _, _, _, err := m.Advance(b); !errors.Is(err, ErrNoOpenPart) {
+		t.Fatalf("advance without open part: %v", err)
+	}
+	// Now the fast VB is pending for the same area only.
+	if _, ok := m.OpenPending(poolCold); ok {
+		t.Fatal("fast VB must only be allocatable by the owning area")
+	}
+	if m.PendingCount(poolHot) != 1 {
+		t.Fatalf("pending = %d", m.PendingCount(poolHot))
+	}
+	fast, ok := m.OpenPending(poolHot)
+	if !ok || fast.Block != b || fast.Part != 1 {
+		t.Fatalf("pending open = %v %v", fast, ok)
+	}
+	// Filling the fast part completes the block.
+	vbFull, blockFull = fill(t, m, b, 4)
+	if !vbFull || !blockFull {
+		t.Fatalf("block fill: vbFull=%v blockFull=%v", vbFull, blockFull)
+	}
+	if !m.IsFull(b) || m.FullBlocks() != 1 {
+		t.Fatal("block should be full")
+	}
+	if _, _, _, err := m.Advance(b); !errors.Is(err, ErrBlockFull) {
+		t.Fatalf("advance full block: %v", err)
+	}
+	// Release after (simulated) GC returns it to the free pool.
+	if err := m.Release(b); err != nil {
+		t.Fatal(err)
+	}
+	if m.FreeBlocks() != 6 || m.FullBlocks() != 0 {
+		t.Error("release did not return block")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdvanceErrors(t *testing.T) {
+	m := newTestManager(t, 2)
+	if _, _, _, err := m.Advance(0); err == nil {
+		t.Error("advance on free block should fail")
+	}
+}
+
+func TestReleaseRequiresFull(t *testing.T) {
+	m := newTestManager(t, 2)
+	vb, _ := m.AllocateFirst(poolHot)
+	if err := m.Release(vb.Block); !errors.Is(err, ErrNotFull) {
+		t.Fatalf("release partial block: %v", err)
+	}
+	if err := m.ReleaseForce(vb.Block); err != nil {
+		t.Fatalf("force release: %v", err)
+	}
+	if m.FreeBlocks() != 6 {
+		t.Error("force release did not free block")
+	}
+	if err := m.ReleaseForce(vb.Block); err == nil {
+		t.Error("double release should fail")
+	}
+}
+
+func TestReleaseForceScrubsPendingQueue(t *testing.T) {
+	m := newTestManager(t, 2)
+	vb, _ := m.AllocateFirst(poolCold)
+	fill(t, m, vb.Block, 4) // part 0 full -> pending
+	if m.PendingCount(poolCold) != 1 {
+		t.Fatal("not pending")
+	}
+	if err := m.ReleaseForce(vb.Block); err != nil {
+		t.Fatal(err)
+	}
+	if m.PendingCount(poolCold) != 0 {
+		t.Error("pending queue not scrubbed")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReusedBlockStartsClean(t *testing.T) {
+	m := newTestManager(t, 2)
+	vb, _ := m.AllocateFirst(poolHot)
+	fill(t, m, vb.Block, 4)
+	fast, _ := m.OpenPending(poolHot)
+	fill(t, m, fast.Block, 4)
+	if err := m.Release(vb.Block); err != nil {
+		t.Fatal(err)
+	}
+	// Reallocate: same block (lowest number), opposite area, clean state.
+	vb2, err := m.AllocateFirst(poolCold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vb2.Block != vb.Block {
+		t.Fatalf("expected block reuse, got %v", vb2)
+	}
+	if m.Cursor(vb2.Block) != 0 {
+		t.Error("cursor not reset")
+	}
+	if a, _ := m.PoolOf(vb2.Block); a != poolCold {
+		t.Error("area not reassigned")
+	}
+}
+
+func TestKEqualsFourOrdering(t *testing.T) {
+	m := newTestManager(t, 4) // 2 pages per part
+	vb, _ := m.AllocateFirst(poolHot)
+	b := vb.Block
+	if vb.End-vb.Start != 2 {
+		t.Fatalf("part length = %d", vb.End-vb.Start)
+	}
+	for part := 1; part < 4; part++ {
+		fill(t, m, b, 2)
+		next, ok := m.OpenPending(poolHot)
+		if !ok || next.Part != part {
+			t.Fatalf("expected part %d pending, got %v %v", part, next, ok)
+		}
+	}
+	_, blockFull := fill(t, m, b, 2)
+	if !blockFull {
+		t.Fatal("block should be full after all parts")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachFullAndOwned(t *testing.T) {
+	m := newTestManager(t, 2)
+	a, _ := m.AllocateFirst(poolHot)
+	fill(t, m, a.Block, 4)
+	f, _ := m.OpenPending(poolHot)
+	fill(t, m, f.Block, 4)
+	b, _ := m.AllocateFirst(poolCold)
+	_ = b
+
+	var fulls, owned []nand.BlockID
+	m.ForEachFull(func(id nand.BlockID) bool { fulls = append(fulls, id); return true })
+	m.ForEachOwned(func(id nand.BlockID) bool { owned = append(owned, id); return true })
+	if len(fulls) != 1 || fulls[0] != a.Block {
+		t.Errorf("fulls = %v", fulls)
+	}
+	if len(owned) != 2 {
+		t.Errorf("owned = %v", owned)
+	}
+	// Early termination.
+	count := 0
+	m.ForEachOwned(func(nand.BlockID) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestVBStringAndID(t *testing.T) {
+	v := VB{Block: 3, Part: 1, Start: 4, End: 8}
+	if v.ID(2) != 7 {
+		t.Errorf("ID = %d, want 7 (2N+1 numbering)", v.ID(2))
+	}
+	if s := v.String(); !strings.Contains(s, "b3") || !strings.Contains(s, "4-7") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// Property: random alloc/advance/release sequences keep manager
+// invariants and never let one block serve two areas.
+func TestPropertyManagerInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := testConfig()
+		m, err := NewManager(cfg, 2, 2)
+		if err != nil {
+			return false
+		}
+		areaOf := make(map[nand.BlockID]int)
+		var active []nand.BlockID
+		for step := 0; step < 300; step++ {
+			switch rng.Intn(4) {
+			case 0:
+				area := rng.Intn(2)
+				vb, err := m.AllocateFirst(area)
+				if err == nil {
+					if prev, seen := areaOf[vb.Block]; seen && prev != area {
+						// reallocation after release may change area; update
+					}
+					areaOf[vb.Block] = area
+					active = append(active, vb.Block)
+				}
+			case 1:
+				area := rng.Intn(2)
+				if vb, ok := m.OpenPending(area); ok {
+					if got, _ := m.PoolOf(vb.Block); got != area {
+						t.Logf("pending open crossed areas")
+						return false
+					}
+				}
+			case 2:
+				if len(active) > 0 {
+					b := active[rng.Intn(len(active))]
+					if !m.IsFull(b) {
+						_, _, _, err := m.Advance(b)
+						if err != nil && !errors.Is(err, ErrNoOpenPart) {
+							t.Logf("advance: %v", err)
+							return false
+						}
+					}
+				}
+			case 3:
+				if len(active) > 0 {
+					i := rng.Intn(len(active))
+					b := active[i]
+					if m.IsFull(b) {
+						if err := m.Release(b); err != nil {
+							t.Logf("release: %v", err)
+							return false
+						}
+						active = append(active[:i], active[i+1:]...)
+						delete(areaOf, b)
+					}
+				}
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,221 @@
+// Package ppbflash is a trace-driven simulator for 3D charge-trap NAND
+// flash with the asymmetric per-layer page access speed characteristic,
+// and a full implementation of the Progressive Performance Boosting (PPB)
+// FTL strategy from:
+//
+//	Shuo-Han Chen, Yen-Ting Chen, Hsin-Wen Wei, Wei-Kuan Shih.
+//	"Boosting the Performance of 3D Charge Trap NAND Flash with
+//	Asymmetric Feature Process Size Characteristic." DAC 2017.
+//
+// This root package is the stable facade over the implementation
+// packages: device model (internal/nand), FTL framework and baselines
+// (internal/ftl), the PPB strategy (internal/core), hot/cold
+// identification (internal/hotness), synthetic MSR-style workloads
+// (internal/workload), and the experiment harness (internal/harness).
+//
+// # Quick start
+//
+//	cfg := ppbflash.TableOneConfig().Scaled(64) // 1 GB-class device
+//	dev, _ := ppbflash.NewDevice(cfg)
+//	f, _ := ppbflash.NewPPB(dev, ppbflash.PPBOptions{})
+//	f.Write(0, 512)   // small write -> hot area
+//	f.Read(0)         // promotes to iron-hot
+//
+// See examples/ for runnable scenarios and cmd/ppbench for regenerating
+// every figure of the paper.
+package ppbflash
+
+import (
+	"ppbflash/internal/core"
+	"ppbflash/internal/ftl"
+	"ppbflash/internal/harness"
+	"ppbflash/internal/hotness"
+	"ppbflash/internal/metrics"
+	"ppbflash/internal/nand"
+	"ppbflash/internal/trace"
+	"ppbflash/internal/workload"
+)
+
+// Device model (internal/nand).
+type (
+	// DeviceConfig describes the geometry and timing of a simulated 3D
+	// charge-trap NAND device.
+	DeviceConfig = nand.Config
+	// Device is a simulated 3D charge-trap NAND device.
+	Device = nand.Device
+	// PPN is a flat physical page number.
+	PPN = nand.PPN
+	// BlockID is a flat physical block number.
+	BlockID = nand.BlockID
+	// OOB is the per-page out-of-band metadata.
+	OOB = nand.OOB
+)
+
+// NewDevice builds a device from a validated config.
+func NewDevice(cfg DeviceConfig) (*Device, error) { return nand.NewDevice(cfg) }
+
+// TableOneConfig returns the paper's Table 1 parameter set (64 GB, 16 KB
+// pages, 384 pages/block, 49 µs read, 600 µs program, 4 ms erase).
+func TableOneConfig() DeviceConfig { return nand.TableOneConfig() }
+
+// FTL framework (internal/ftl).
+type (
+	// FTL is the host-visible flash-translation-layer interface.
+	FTL = ftl.FTL
+	// FTLOptions tunes over-provisioning and garbage collection.
+	FTLOptions = ftl.Options
+	// FTLStats are the shared cost and activity counters of an FTL.
+	FTLStats = ftl.Stats
+	// Conventional is the speed-oblivious baseline FTL.
+	Conventional = ftl.Conventional
+	// GreedySpeed is the paper's Figure 3 strawman (naive speed placement).
+	GreedySpeed = ftl.GreedySpeed
+	// HotColdSplit is hot/cold block separation without speed awareness.
+	HotColdSplit = ftl.HotColdSplit
+)
+
+// NewConventional builds the paper's baseline FTL.
+func NewConventional(dev *Device, opts FTLOptions) (*Conventional, error) {
+	return ftl.NewConventional(dev, opts)
+}
+
+// NewGreedySpeed builds the naive speed-placement strawman.
+func NewGreedySpeed(dev *Device, opts FTLOptions, ident Identifier) (*GreedySpeed, error) {
+	return ftl.NewGreedySpeed(dev, opts, ident)
+}
+
+// NewHotColdSplit builds the separation-only ablation FTL.
+func NewHotColdSplit(dev *Device, opts FTLOptions, ident Identifier) (*HotColdSplit, error) {
+	return ftl.NewHotColdSplit(dev, opts, ident)
+}
+
+// The PPB strategy (internal/core).
+type (
+	// PPB is the progressive performance boosting FTL — the paper's
+	// contribution.
+	PPB = core.PPB
+	// PPBOptions tunes the PPB strategy.
+	PPBOptions = core.Options
+	// PPBStats are PPB-specific activity counters.
+	PPBStats = core.Stats
+)
+
+// NewPPB builds a PPB FTL over the device.
+func NewPPB(dev *Device, opt PPBOptions) (*PPB, error) { return core.New(dev, opt) }
+
+// Hot/cold identification (internal/hotness).
+type (
+	// Level is one of the paper's four data hotness levels.
+	Level = hotness.Level
+	// Area is the first-stage classification result (hot or cold).
+	Area = hotness.Area
+	// Identifier is the pluggable first-stage hot/cold mechanism.
+	Identifier = hotness.Identifier
+	// SizeCheck is the paper's case-study identifier.
+	SizeCheck = hotness.SizeCheck
+)
+
+// The four hotness levels and two areas.
+const (
+	IcyCold = hotness.IcyCold
+	Cold    = hotness.Cold
+	Hot     = hotness.Hot
+	IronHot = hotness.IronHot
+
+	AreaHot  = hotness.AreaHot
+	AreaCold = hotness.AreaCold
+)
+
+// Traces and workloads (internal/trace, internal/workload).
+type (
+	// Request is one block-level I/O.
+	Request = trace.Request
+	// Op is a request direction.
+	Op = trace.Op
+	// Generator streams a deterministic synthetic workload.
+	Generator = workload.Generator
+	// MediaServerConfig parameterizes the media-server stand-in trace.
+	MediaServerConfig = workload.MediaConfig
+	// WebSQLConfig parameterizes the web/SQL stand-in trace.
+	WebSQLConfig = workload.WebSQLConfig
+)
+
+// Request directions.
+const (
+	OpRead  = trace.OpRead
+	OpWrite = trace.OpWrite
+)
+
+// NewMediaServer builds the media-server stand-in generator.
+func NewMediaServer(cfg MediaServerConfig) Generator { return workload.NewMediaServer(cfg) }
+
+// NewWebSQL builds the web/SQL stand-in generator.
+func NewWebSQL(cfg WebSQLConfig) Generator { return workload.NewWebSQL(cfg) }
+
+// Experiment harness (internal/harness).
+type (
+	// RunSpec describes one simulation run.
+	RunSpec = harness.RunSpec
+	// RunResult carries the measurements of one run.
+	RunResult = harness.Result
+	// Scale controls experiment size (QuickScale/BenchScale/PaperScale).
+	Scale = harness.Scale
+	// FigureResult is a regenerated paper artifact.
+	FigureResult = harness.FigureResult
+	// FTLKind selects the strategy a run uses.
+	FTLKind = harness.FTLKind
+	// Table renders aligned experiment tables.
+	Table = metrics.Table
+)
+
+// Strategy kinds for RunSpec.
+const (
+	KindConventional = harness.KindConventional
+	KindPPB          = harness.KindPPB
+	KindGreedySpeed  = harness.KindGreedySpeed
+	KindHotColdSplit = harness.KindHotColdSplit
+)
+
+// Experiment scales.
+var (
+	// QuickScale runs on a 512 MB-class device (CI speed).
+	QuickScale = harness.QuickScale
+	// BenchScale runs on a 2 GB-class device (default for benchmarks).
+	BenchScale = harness.BenchScale
+	// PaperScale replays against the full 64 GB Table 1 device.
+	PaperScale = harness.PaperScale
+)
+
+// Run executes one simulation run.
+func Run(spec RunSpec) (RunResult, error) { return harness.Run(spec) }
+
+// Replay feeds a generator through an FTL, splitting requests into pages.
+func Replay(f FTL, gen Generator) error { return harness.Replay(f, gen) }
+
+// Experiment runs one of the paper's experiments by ID ("12".."18" for
+// figures, "3" for the motivation study, "a1".."a3" for ablations).
+func Experiment(id string, s Scale) (*FigureResult, error) {
+	fn, ok := harness.Experiments[id]
+	if !ok {
+		return nil, errUnknownExperiment(id)
+	}
+	return fn(s)
+}
+
+// ExperimentIDs lists the available experiment IDs in presentation order.
+func ExperimentIDs() []string {
+	ids := make([]string, len(harness.ExperimentOrder))
+	copy(ids, harness.ExperimentOrder)
+	return ids
+}
+
+// TableOne renders the paper's Table 1.
+func TableOne() *FigureResult { return harness.TableOne() }
+
+type unknownExperimentError string
+
+func errUnknownExperiment(id string) error { return unknownExperimentError(id) }
+
+func (e unknownExperimentError) Error() string {
+	return "ppbflash: unknown experiment " + string(e) + " (want one of 3, 12-18, a1-a3)"
+}
