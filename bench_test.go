@@ -141,58 +141,28 @@ func BenchmarkAblationLayers(b *testing.B) {
 	}
 }
 
+// benchPageOps runs the shared page-op loop (NewPageOpsFTL/RunPageOps —
+// the same pair ppbench -json measures) under the Go benchmark harness.
+// Both benchmarks must stay at 0 allocs/op; CI smoke-checks this.
+func benchPageOps(b *testing.B, kind FTLKind) {
+	b.Helper()
+	f, err := NewPageOpsFTL(kind)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := RunPageOps(f, b.N); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkDevicePageOps measures the raw simulator throughput
 // (program+read+invalidate cycles), the cost floor under every
 // experiment.
-func BenchmarkDevicePageOps(b *testing.B) {
-	cfg := TableOneConfig().Scaled(128)
-	dev, err := NewDevice(cfg)
-	if err != nil {
-		b.Fatal(err)
-	}
-	f, err := NewConventional(dev, FTLOptions{OverProvision: 0.2})
-	if err != nil {
-		b.Fatal(err)
-	}
-	span := f.LogicalPages()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		lpn := uint64(i) % span
-		if err := f.Write(lpn, 4096); err != nil {
-			b.Fatal(err)
-		}
-		if _, err := f.Read(lpn); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkDevicePageOps(b *testing.B) { benchPageOps(b, KindConventional) }
 
 // BenchmarkPPBPageOps is the PPB-strategy counterpart of
 // BenchmarkDevicePageOps: the per-operation bookkeeping overhead of the
 // four-level identification and virtual-block allocation.
-func BenchmarkPPBPageOps(b *testing.B) {
-	cfg := TableOneConfig().Scaled(128)
-	dev, err := NewDevice(cfg)
-	if err != nil {
-		b.Fatal(err)
-	}
-	f, err := NewPPB(dev, PPBOptions{FTL: FTLOptions{OverProvision: 0.2}})
-	if err != nil {
-		b.Fatal(err)
-	}
-	span := f.LogicalPages()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		lpn := uint64(i) % span
-		size := 4096
-		if i%3 == 0 {
-			size = 64 * 1024
-		}
-		if err := f.Write(lpn, size); err != nil {
-			b.Fatal(err)
-		}
-		if _, err := f.Read(lpn); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkPPBPageOps(b *testing.B) { benchPageOps(b, KindPPB) }

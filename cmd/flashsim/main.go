@@ -1,18 +1,22 @@
 // Command flashsim replays a block-level trace file (MSR Cambridge CSV
 // or the simple "R|W offset size" text format) through a simulated 3D
-// charge-trap NAND device under a chosen FTL strategy and reports the
-// access-latency and garbage-collection statistics.
+// charge-trap NAND device under one or more FTL strategies and reports
+// the access-latency and garbage-collection statistics.
 //
 // Usage:
 //
 //	flashsim -ftl ppb -trace websql.csv [-format msr] [-gb 4] \
-//	         [-ratio 2] [-pagesize 16384] [-prefill]
+//	         [-ratio 2] [-pagesize 16384] [-prefill] [-parallel N]
+//
+// -ftl accepts a comma-separated list (e.g. -ftl conventional,ppb); the
+// strategies replay the same trace concurrently on a worker pool.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"ppbflash"
 	"ppbflash/internal/trace"
@@ -20,7 +24,7 @@ import (
 
 func main() {
 	var (
-		ftlName  = flag.String("ftl", "ppb", "conventional, ppb, greedy-speed or hotcold-split")
+		ftlNames = flag.String("ftl", "ppb", "comma-separated: conventional, ppb, greedy-speed, hotcold-split")
 		path     = flag.String("trace", "", "trace file to replay (required)")
 		format   = flag.String("format", "msr", "trace format: msr or simple")
 		gb       = flag.Float64("gb", 4, "device capacity in GiB (Table 1 geometry, scaled)")
@@ -28,6 +32,7 @@ func main() {
 		pageSize = flag.Int("pagesize", 16<<10, "page size in bytes")
 		prefill  = flag.Bool("prefill", true, "write the whole logical space before replay")
 		disk     = flag.Int("disk", -1, "replay only this MSR disk number (-1 = all)")
+		parallel = flag.Int("parallel", 0, "concurrent runs when several FTLs are given (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -55,30 +60,48 @@ func main() {
 		cfg = cfg.WithPageSize(*pageSize)
 	}
 
-	res, err := ppbflash.Run(ppbflash.RunSpec{
-		Name:    *path,
-		Device:  cfg,
-		Kind:    ppbflash.FTLKind(*ftlName),
-		Prefill: *prefill,
-		Workload: func(logicalBytes uint64) ppbflash.Generator {
-			return replayGenerator(reqs, logicalBytes)
-		},
-	})
+	var specs []ppbflash.RunSpec
+	for _, name := range strings.Split(*ftlNames, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		specs = append(specs, ppbflash.RunSpec{
+			Name:    *path + "/" + name,
+			Device:  cfg,
+			Kind:    ppbflash.FTLKind(name),
+			Prefill: *prefill,
+			Workload: func(logicalBytes uint64) ppbflash.Generator {
+				return replayGenerator(reqs, logicalBytes)
+			},
+		})
+	}
+	if len(specs) == 0 {
+		fmt.Fprintln(os.Stderr, "flashsim: -ftl names no strategy")
+		os.Exit(2)
+	}
+
+	results, err := ppbflash.RunAll(specs, *parallel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("device: %.1f GiB, %d KB pages, ratio %.0fx, %s FTL\n",
-		float64(cfg.TotalBytes())/(1<<30), cfg.PageSize>>10, cfg.SpeedRatio, *ftlName)
-	fmt.Printf("host:   %d page reads (%d unmapped), %d page writes\n",
-		res.HostReadPages, res.UnmappedReads, res.HostWritePage)
-	fmt.Printf("time:   read total %v, write total %v\n", res.ReadTotal, res.WriteTotal)
-	fmt.Printf("gc:     %d erases, %d copies, WAF %.2f\n", res.Erases, res.GCCopies, res.WAF)
-	fmt.Printf("layout: %.1f%% of host reads served from fast pages\n", res.FastReadShare*100)
-	if res.Kind == ppbflash.KindPPB {
-		fmt.Printf("ppb:    %d migrations, %d diversions, %d demotions\n",
-			res.Migrations, res.Diversions, res.Demotions)
+	for i, res := range results {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("device: %.1f GiB, %d KB pages, ratio %.0fx, %s FTL\n",
+			float64(cfg.TotalBytes())/(1<<30), cfg.PageSize>>10, cfg.SpeedRatio, specs[i].Kind)
+		fmt.Printf("host:   %d page reads (%d unmapped), %d page writes\n",
+			res.HostReadPages, res.UnmappedReads, res.HostWritePage)
+		fmt.Printf("time:   read total %v, write total %v\n", res.ReadTotal, res.WriteTotal)
+		fmt.Printf("gc:     %d erases, %d copies, WAF %.2f\n", res.Erases, res.GCCopies, res.WAF)
+		fmt.Printf("layout: %.1f%% of host reads served from fast pages\n", res.FastReadShare*100)
+		if res.Kind == ppbflash.KindPPB {
+			fmt.Printf("ppb:    %d migrations, %d diversions, %d demotions\n",
+				res.Migrations, res.Diversions, res.Demotions)
+		}
 	}
 }
 

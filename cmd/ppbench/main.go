@@ -5,23 +5,58 @@
 // Usage:
 //
 //	ppbench [-fig all|3|12|13|14|15|16|17|18|a1|a2|a3] [-scale quick|bench|paper]
-//	        [-divisor N] [-turnover F] [-seed N]
+//	        [-divisor N] [-turnover F] [-seed N] [-parallel N]
+//	        [-json] [-out BENCH_1.json]
 //
 // Examples:
 //
 //	ppbench                       # all experiments at bench scale
 //	ppbench -fig 12 -scale quick  # just Figure 12, CI-sized
 //	ppbench -scale paper          # full 64 GB Table 1 device (slow)
+//	ppbench -parallel 8           # run each figure's sims on 8 workers
+//	ppbench -json                 # also write BENCH_1.json with per-figure
+//	                              # wall times and hot-path microbenchmarks
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"testing"
 	"time"
 
 	"ppbflash"
 )
+
+// benchReport is the schema of the -json output: a perf trajectory
+// snapshot future changes can regress against.
+type benchReport struct {
+	Schema      string            `json:"schema"`
+	GoVersion   string            `json:"go_version"`
+	GOMAXPROCS  int               `json:"gomaxprocs"`
+	Scale       string            `json:"scale"`
+	Divisor     int               `json:"divisor"`
+	Turnover    float64           `json:"turnover"`
+	Seed        int64             `json:"seed"`
+	Parallelism int               `json:"parallelism"`
+	Micro       []microBenchEntry `json:"microbench"`
+	Figures     []figureEntry     `json:"figures"`
+}
+
+type microBenchEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type figureEntry struct {
+	ID     string               `json:"id"`
+	WallMS float64              `json:"wall_ms"`
+	Series map[string][]float64 `json:"series"`
+}
 
 func main() {
 	var (
@@ -30,6 +65,9 @@ func main() {
 		divisorFlag  = flag.Int("divisor", 0, "override device divisor (1 = full 64 GB)")
 		turnoverFlag = flag.Float64("turnover", 0, "override write turnover multiple")
 		seedFlag     = flag.Int64("seed", 0, "override workload seed")
+		parallelFlag = flag.Int("parallel", 0, "concurrent simulation runs per experiment (0 = GOMAXPROCS)")
+		jsonFlag     = flag.Bool("json", false, "write a machine-readable benchmark report")
+		outFlag      = flag.String("out", "BENCH_1.json", "report path for -json")
 	)
 	flag.Parse()
 
@@ -47,12 +85,24 @@ func main() {
 	if *seedFlag != 0 {
 		scale.Seed = *seedFlag
 	}
+	scale.Parallelism = *parallelFlag
 
 	fmt.Println(ppbflash.TableOne().Table)
-	fmt.Printf("scale: divisor=%d (device %.1f GB), turnover=%.1fx, seed=%d\n\n",
+	fmt.Printf("scale: divisor=%d (device %.1f GB), turnover=%.1fx, seed=%d, parallel=%d\n\n",
 		scale.DeviceDivisor,
 		float64(scale.DeviceConfig(16<<10, 2).TotalBytes())/float64(1<<30),
-		scale.WriteTurnover, scale.Seed)
+		scale.WriteTurnover, scale.Seed, effectiveParallelism(*parallelFlag))
+
+	report := benchReport{
+		Schema:      "ppbench/v1",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Scale:       *scaleFlag,
+		Divisor:     scale.DeviceDivisor,
+		Turnover:    scale.WriteTurnover,
+		Seed:        scale.Seed,
+		Parallelism: effectiveParallelism(*parallelFlag),
+	}
 
 	ids := ppbflash.ExperimentIDs()
 	if *figFlag != "all" {
@@ -65,9 +115,76 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
 			os.Exit(1)
 		}
+		wall := time.Since(start)
 		fmt.Println(fig.Table)
-		fmt.Printf("  [%s in %v]\n\n", fig.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  [%s in %v]\n\n", fig.ID, wall.Round(time.Millisecond))
+		report.Figures = append(report.Figures, figureEntry{
+			ID:     fig.ID,
+			WallMS: float64(wall.Microseconds()) / 1000,
+			Series: fig.Series,
+		})
 	}
+
+	if *jsonFlag {
+		fmt.Println("running hot-path microbenchmarks...")
+		report.Micro = microBenchmarks()
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppbench: encoding report: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*outFlag, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "ppbench: writing report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *outFlag)
+	}
+}
+
+func effectiveParallelism(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// microBenchmarks measures the raw page-op throughput of the simulator
+// (cost floor) and of the full PPB strategy. It shares the loop and
+// configuration with the repo's BenchmarkDevicePageOps/BenchmarkPPBPageOps
+// through ppbflash.NewPageOpsFTL/RunPageOps, so the -json report and the
+// CI benchmarks always measure the same thing.
+func microBenchmarks() []microBenchEntry {
+	out := make([]microBenchEntry, 0, 2)
+	for _, mb := range []struct {
+		name string
+		kind ppbflash.FTLKind
+	}{
+		{"DevicePageOps", ppbflash.KindConventional},
+		{"PPBPageOps", ppbflash.KindPPB},
+	} {
+		kind := mb.kind
+		res := testing.Benchmark(func(b *testing.B) {
+			f, err := ppbflash.NewPageOpsFTL(kind)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			if err := ppbflash.RunPageOps(f, b.N); err != nil {
+				b.Fatal(err)
+			}
+		})
+		out = append(out, microBenchEntry{
+			Name:        mb.name,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		})
+		fmt.Printf("  %-14s %10.1f ns/op  %3d allocs/op\n", mb.name,
+			float64(res.T.Nanoseconds())/float64(res.N), res.AllocsPerOp())
+	}
+	return out
 }
 
 func pickScale(name string) (ppbflash.Scale, error) {

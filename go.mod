@@ -1,0 +1,3 @@
+module ppbflash
+
+go 1.24

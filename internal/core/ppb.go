@@ -66,10 +66,18 @@ type Options struct {
 	StaleWindow uint64
 }
 
-func (o Options) withDefaults(cfg nand.Config, logicalPages uint64) Options {
-	if o.SplitFactor == 0 {
-		o.SplitFactor = 2
+// defaultSplitFactor is the paper's default virtual-block split (k=2).
+// One helper shared by New (which needs it before the manager exists)
+// and withDefaults, so the two can never disagree.
+func defaultSplitFactor(k int) int {
+	if k == 0 {
+		return 2
 	}
+	return k
+}
+
+func (o Options) withDefaults(cfg nand.Config, logicalPages uint64) Options {
+	o.SplitFactor = defaultSplitFactor(o.SplitFactor)
 	if o.Identifier == nil {
 		o.Identifier = hotness.SizeCheck{ThresholdBytes: cfg.PageSize}
 	}
@@ -169,6 +177,11 @@ type PPB struct {
 	open   [numPools][2]vblock.VB // open VB per pool and speed (0 slow, 1 fast)
 	isOpen [numPools][2]bool
 
+	// GC callbacks bound once at construction (see New).
+	excludeFn   func(nand.BlockID) bool
+	reprogramFn ftl.ReprogramFunc
+	slowFirstFn func(nand.OOB) bool
+
 	writeSeq uint64
 	inGC     bool
 	ppbStats Stats
@@ -216,23 +229,39 @@ func New(dev *nand.Device, opt Options) (*PPB, error) {
 			opt.FTL.GCHighWater = high
 		}
 	}
-	base, err := ftl.NewBase(dev, opt.FTL)
-	if err != nil {
-		return nil, err
-	}
-	opt = opt.withDefaults(dev.Config(), base.LogicalPages())
+	opt.SplitFactor = defaultSplitFactor(opt.SplitFactor)
 	vbm, err := vblock.NewManager(dev.Config(), opt.SplitFactor, numPools)
 	if err != nil {
 		return nil, err
 	}
-	return &PPB{
+	base, err := ftl.NewBase(dev, vbm, opt.FTL)
+	if err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults(dev.Config(), base.LogicalPages())
+	// When the cold table covers the whole logical space (the default),
+	// back it with a dense per-LPN array: the bounded map could never
+	// overflow at that size, and every host read consults this table.
+	var cold *hotness.FreqTable
+	if uint64(opt.ColdTableEntries) >= base.LogicalPages() {
+		cold = hotness.NewDenseFreqTable(base.LogicalPages(), opt.ColdPromoteReads)
+	} else {
+		cold = hotness.NewFreqTable(opt.ColdTableEntries, opt.ColdPromoteReads)
+	}
+	p := &PPB{
 		Base:  base,
 		opt:   opt,
 		vbm:   vbm,
 		ident: opt.Identifier,
 		hot:   hotness.NewTwoLevelLRU(opt.HotListEntries, opt.IronListEntries),
-		cold:  hotness.NewFreqTable(opt.ColdTableEntries, opt.ColdPromoteReads),
-	}, nil
+		cold:  cold,
+	}
+	// Bind the GC callbacks once: method-value creation allocates, and
+	// maybeGC sits on the per-write hot path.
+	p.excludeFn = p.excludeOpen
+	p.reprogramFn = p.reprogramGC
+	p.slowFirstFn = p.gcSlowFirst
+	return p, nil
 }
 
 // Name implements ftl.FTL.
@@ -247,17 +276,18 @@ func (p *PPB) SplitFactor() int { return p.vbm.K() }
 // Read implements ftl.FTL. Reads update the hotness trackers (promote on
 // read) but never move data: migration is progressive.
 func (p *PPB) Read(lpn uint64) (bool, error) {
-	mapped, err := p.ReadMapped(lpn)
+	oob, mapped, err := p.ReadMappedOOB(lpn)
 	if err != nil || !mapped {
 		return mapped, err
 	}
-	if ppn, ok := p.Map().Lookup(lpn); ok {
-		tag := p.Device().PeekOOB(ppn).Tag
-		if tag < 4 {
-			p.ppbStats.LevelReads[tag].Inc()
-		}
+	if oob.Tag < 4 {
+		p.ppbStats.LevelReads[oob.Tag].Inc()
 	}
-	if _, _, ok := p.hot.OnRead(lpn); ok {
+	if _, dem, demoted, ok := p.hot.OnRead(lpn); ok {
+		// A read-promotion is a 1-for-1 swap, so demoted is never set
+		// today — but the tracker contract says any demotion must reach
+		// the cold area, so honor it rather than rely on that invariant.
+		p.handleDemotion(dem, demoted)
 		return true, nil
 	}
 	if _, ok := p.cold.OnRead(lpn); ok {
@@ -289,7 +319,7 @@ func (p *PPB) Write(lpn uint64, reqSize int) error {
 	// feedback keeps the iron-hot set sized to the fast capacity, so the
 	// chunks that stay iron-hot are reliably served from fast pages.
 	if lvl == hotness.IronHot && !p.fastSpaceAvailable(poolHotHost) {
-		p.handleDemotions(p.hot.Demote(lpn))
+		p.handleDemotion(p.hot.Demote(lpn))
 		p.ppbStats.FastFullDemotions.Inc()
 		lvl = p.currentLevel(lpn, uint8(hotness.Hot))
 	}
@@ -320,26 +350,27 @@ func (p *PPB) Write(lpn uint64, reqSize int) error {
 // entering at the slow level of their area.
 func (p *PPB) classifyWrite(lpn uint64, reqSize int) hotness.Level {
 	if _, ok := p.hot.Level(lpn); ok {
-		lvl, dem := p.hot.OnWrite(lpn, p.writeSeq)
-		p.handleDemotions(dem)
+		lvl, dem, demoted := p.hot.OnWrite(lpn, p.writeSeq)
+		p.handleDemotion(dem, demoted)
 		return lvl
 	}
 	area := p.ident.Classify(lpn, reqSize)
 	if area == hotness.AreaHot {
 		p.cold.Remove(lpn)
-		lvl, dem := p.hot.OnWrite(lpn, p.writeSeq)
-		p.handleDemotions(dem)
+		lvl, dem, demoted := p.hot.OnWrite(lpn, p.writeSeq)
+		p.handleDemotion(dem, demoted)
 		return lvl
 	}
 	p.cold.OnWrite(lpn) // insert or reset: rewritten data is new data
 	return hotness.IcyCold
 }
 
-func (p *PPB) handleDemotions(dem []hotness.Demotion) {
-	for _, d := range dem {
-		p.cold.InsertDemoted(d.LPN)
-		p.ppbStats.Demotions.Inc()
+func (p *PPB) handleDemotion(dem hotness.Demotion, demoted bool) {
+	if !demoted {
+		return
 	}
+	p.cold.InsertDemoted(dem.LPN)
+	p.ppbStats.Demotions.Inc()
 }
 
 // currentLevel returns the chunk's present hotness from the trackers,
@@ -359,8 +390,8 @@ func (p *PPB) currentLevel(lpn uint64, tag uint8) hotness.Level {
 
 // noteMigration counts a page whose speed group changed with this copy.
 func (p *PPB) noteMigration(oldPPN, newPPN nand.PPN) {
-	_, oldPage := p.Config().SplitPPN(oldPPN)
-	_, newPage := p.Config().SplitPPN(newPPN)
+	_, oldPage := p.Geom().SplitPPN(oldPPN)
+	_, newPage := p.Geom().SplitPPN(newPPN)
 	if p.vbm.FastPart(p.vbm.PartOf(oldPage)) != p.vbm.FastPart(p.vbm.PartOf(newPage)) {
 		p.ppbStats.Migrations.Inc()
 	}
@@ -380,7 +411,7 @@ func (p *PPB) programAt(pool int, lvl hotness.Level, wantFast bool, oob nand.OOB
 	if err != nil {
 		return 0, 0, err
 	}
-	ppn := p.Config().PPNForBlockPage(vb.Block, page)
+	ppn := p.Geom().PPNForBlockPage(vb.Block, page)
 	cost, err := p.Device().Program(ppn, oob)
 	if err != nil {
 		return 0, 0, err
@@ -559,7 +590,7 @@ func (p *PPB) maybeGC() error {
 	}
 	p.inGC = true
 	defer func() { p.inGC = false }()
-	return p.GCLoopOrdered(p.vbm, p.excludeOpen, p.reprogramGC, p.gcSlowFirst)
+	return p.GCLoopOrdered(p.excludeFn, p.reprogramFn, p.slowFirstFn)
 }
 
 // gcSlowFirst orders GC relocation so slow-deserving data (hot, icy)
@@ -594,7 +625,7 @@ func (p *PPB) reprogramGC(oob nand.OOB) (time.Duration, nand.PPN, error) {
 	lvl := p.currentLevel(oob.LPN, oob.Tag)
 	if lvl == hotness.Hot {
 		if last, ok := p.hot.LastWrite(oob.LPN); ok && p.writeSeq-last > p.opt.StaleWindow {
-			p.handleDemotions(p.hot.Demote(oob.LPN))
+			p.handleDemotion(p.hot.Demote(oob.LPN))
 			p.ppbStats.StaleDemotions.Inc()
 			lvl = p.currentLevel(oob.LPN, uint8(hotness.IcyCold))
 		}
@@ -604,7 +635,7 @@ func (p *PPB) reprogramGC(oob nand.OOB) (time.Duration, nand.PPN, error) {
 	// page with a stale iron-hot tag. Its next read re-promotes it, and
 	// the next update migrates it fast.
 	if lvl == hotness.IronHot && !p.fastSpaceAvailable(poolHotGC) {
-		p.handleDemotions(p.hot.Demote(oob.LPN))
+		p.handleDemotion(p.hot.Demote(oob.LPN))
 		p.ppbStats.FastFullDemotions.Inc()
 		lvl = p.currentLevel(oob.LPN, uint8(hotness.Hot))
 	}

@@ -180,7 +180,7 @@ func TestProgressiveMigrationOnUpdate(t *testing.T) {
 		t.Fatal(err)
 	}
 	ppn, _ := p.Map().Lookup(1)
-	_, page := p.Config().SplitPPN(ppn)
+	_, page := p.Geom().SplitPPN(ppn)
 	if page >= p.Config().PagesPerBlock/2 {
 		t.Fatalf("fresh hot write landed in fast half (page %d)", page)
 	}
@@ -198,7 +198,7 @@ func TestProgressiveMigrationOnUpdate(t *testing.T) {
 		t.Fatal(err)
 	}
 	ppn, _ = p.Map().Lookup(1)
-	_, page = p.Config().SplitPPN(ppn)
+	_, page = p.Geom().SplitPPN(ppn)
 	if page < p.Config().PagesPerBlock/2 {
 		t.Errorf("iron-hot update landed in slow half (page %d)", page)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ppbflash/internal/nand"
+	"ppbflash/internal/vblock"
 )
 
 // Base carries the machinery every FTL in this package shares: the
@@ -14,22 +15,34 @@ type Base struct {
 	opts  Options
 	table *Mapping
 	stats Stats
+
+	// vbm is the strategy's virtual-block manager; invalidations and GC
+	// victim picks go through it so its victim index stays current.
+	vbm *vblock.Manager
+	// gcDeferred is collectBlock's reusable fast-first scratch.
+	gcDeferred []int
 }
 
 // NewBase validates the options and builds the shared state for an FTL
-// over dev. Strategy packages (internal/core) embed the result.
-func NewBase(dev *nand.Device, opts Options) (Base, error) {
+// over dev and the strategy's virtual-block manager. Strategy packages
+// (internal/core) embed the result. Taking the manager at construction
+// (rather than attaching it later) guarantees Invalidate always feeds
+// the manager's GC victim index — a strategy cannot forget to wire it.
+func NewBase(dev *nand.Device, vbm *vblock.Manager, opts Options) (Base, error) {
 	cfg := dev.Config()
 	opts = opts.withDefaults(cfg)
 	if err := opts.Validate(cfg); err != nil {
 		return Base{}, err
+	}
+	if vbm == nil {
+		return Base{}, fmt.Errorf("ftl: NewBase requires a vblock manager")
 	}
 	logical := LogicalPagesFor(cfg, opts.OverProvision)
 	if logical == 0 {
 		return Base{}, fmt.Errorf("ftl: no logical space (over-provision %g on %d pages)",
 			opts.OverProvision, cfg.TotalPages())
 	}
-	return Base{dev: dev, cfg: cfg, opts: opts, table: NewMapping(logical)}, nil
+	return Base{dev: dev, cfg: cfg, opts: opts, table: NewMapping(logical), vbm: vbm}, nil
 }
 
 // Stats implements FTL.
@@ -44,29 +57,59 @@ func (b *Base) LogicalPages() uint64 { return b.table.Pages() }
 // Config returns the device geometry the FTL was built over.
 func (b *Base) Config() nand.Config { return b.cfg }
 
+// Geom returns the geometry by pointer for per-page address arithmetic
+// (SplitPPN and friends take pointer receivers so the hot path never
+// copies the Config struct).
+func (b *Base) Geom() *nand.Config { return &b.cfg }
+
 // Opts returns the effective (defaulted) options.
 func (b *Base) Opts() Options { return b.opts }
 
 // Map returns the logical-to-physical mapping table.
 func (b *Base) Map() *Mapping { return b.table }
 
+// Manager returns the virtual-block manager the base was built with.
+func (b *Base) Manager() *vblock.Manager { return b.vbm }
+
+// Invalidate drops a physical page and keeps the victim index current.
+// All FTL-side invalidation must go through here (not nand.Device
+// directly), or victim selection will run on stale invalid counts.
+func (b *Base) Invalidate(ppn nand.PPN) error {
+	if err := b.dev.Invalidate(ppn); err != nil {
+		return err
+	}
+	if b.vbm != nil {
+		blk, _ := b.cfg.SplitPPN(ppn)
+		b.vbm.NoteInvalidated(blk)
+	}
+	return nil
+}
+
 // ReadMapped serves a host read of lpn, attributing cost and the
 // fast/slow placement split. Returns false when unmapped.
 func (b *Base) ReadMapped(lpn uint64) (bool, error) {
+	_, mapped, err := b.ReadMappedOOB(lpn)
+	return mapped, err
+}
+
+// ReadMappedOOB is ReadMapped returning the OOB metadata of the page
+// that served the read, so strategies that need the stored tag (PPB's
+// level accounting) avoid a second mapping lookup per host read.
+func (b *Base) ReadMappedOOB(lpn uint64) (nand.OOB, bool, error) {
 	if !b.table.InRange(lpn) {
-		return false, fmt.Errorf("ftl: read of lpn %d beyond logical space %d", lpn, b.table.Pages())
+		return nand.OOB{}, false, fmt.Errorf("ftl: read of lpn %d beyond logical space %d", lpn, b.table.Pages())
 	}
 	ppn, ok := b.table.Lookup(lpn)
 	if !ok {
 		b.stats.UnmappedReads.Inc()
-		return false, nil
+		return nand.OOB{}, false, nil
 	}
 	oob, cost, err := b.dev.Read(ppn)
 	if err != nil {
-		return false, err
+		return nand.OOB{}, false, err
 	}
 	if oob.LPN != lpn {
-		return false, fmt.Errorf("ftl: mapping corruption: lpn %d mapped to page holding %d", lpn, oob.LPN)
+		return nand.OOB{}, false, fmt.Errorf("ftl: mapping corruption: lpn %d mapped to page holding %d", lpn, oob.LPN)
 	}
 	b.stats.HostReads.Inc()
 	b.stats.ReadLatency.Observe(cost)
@@ -76,7 +119,7 @@ func (b *Base) ReadMapped(lpn uint64) (bool, error) {
 	} else {
 		b.stats.SlowReads.Inc()
 	}
-	return true, nil
+	return oob, true, nil
 }
 
 // CheckWrite validates the target of a host write.
@@ -90,27 +133,36 @@ func (b *Base) CheckWrite(lpn uint64) error {
 // InvalidateOld drops the previous physical page of lpn, if any.
 func (b *Base) InvalidateOld(lpn uint64) error {
 	if old, had := b.table.Lookup(lpn); had {
-		if err := b.dev.Invalidate(old); err != nil {
+		if err := b.Invalidate(old); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// victimPolicy picks GC victims by the classic cost-benefit score
-// (Kawaguchi et al.): benefit = reclaimed space x age, cost = copying the
-// remaining valid pages. Age lets blocks whose data is still dying finish
-// dying before they are collected, which matters for workloads with
-// sequential overwrite patterns. Blocks the exclude callback rejects
-// (e.g. active blocks) are skipped. Returns ok=false when no candidate
-// has any invalid page.
+// victimPolicy is the full-scan victim selection, kept behind
+// Options.DebugScanVictims as the reference implementation the
+// incremental index in vblock.Manager is checked against: greedy by
+// invalid-page count ("the block with the most invalid pages is
+// selected"), ties broken toward lower wear. Blocks the exclude
+// callback rejects (e.g. active blocks) are skipped. Returns ok=false
+// when no candidate has any invalid page.
+//
+// Note: through PR 1 this scan scored victims by the Kawaguchi
+// cost-benefit formula (inv*age/(2*valid+1)). The policy itself changed
+// to plain greedy when selection moved into the incremental index —
+// greedy is what GCLoop always documented, what the paper's baseline
+// assumes, and the only score a bucket index can maintain under O(1)
+// updates (the age term re-orders continuously). Absolute figure
+// numbers shifted slightly with the swap; every asserted figure shape
+// (enhancement signs, sweep monotonicity, erase parity) held.
 type victimPolicy struct {
 	dev *nand.Device
 }
 
 func (v victimPolicy) pick(iter func(func(nand.BlockID) bool), exclude func(nand.BlockID) bool) (nand.BlockID, bool) {
 	var best nand.BlockID
-	bestScore := -1.0
+	bestInv := 0
 	var bestWear uint32
 	iter(func(blk nand.BlockID) bool {
 		if exclude != nil && exclude(blk) {
@@ -120,16 +172,13 @@ func (v victimPolicy) pick(iter func(func(nand.BlockID) bool), exclude func(nand
 		if inv == 0 {
 			return true
 		}
-		valid := v.dev.ValidPages(blk)
-		age := float64(v.dev.BlockAge(blk) + 1)
-		score := float64(inv) * age / float64(2*valid+1)
 		wear := v.dev.EraseCount(blk)
-		if score > bestScore || (score == bestScore && wear < bestWear) {
-			best, bestScore, bestWear = blk, score, wear
+		if inv > bestInv || (inv == bestInv && wear < bestWear) {
+			best, bestInv, bestWear = blk, inv, wear
 		}
 		return true
 	})
-	return best, bestScore > 0
+	return best, bestInv > 0
 }
 
 // CheckMapping verifies that every mapped LPN points at a valid page

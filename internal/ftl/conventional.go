@@ -20,7 +20,6 @@ import (
 // and accidentally gifting host data the fast half.
 type Conventional struct {
 	Base
-	vbm    *vblock.Manager
 	active [2]nand.BlockID // 0 = host stream, 1 = GC stream
 	open   [2]bool
 	inGC   bool
@@ -35,17 +34,17 @@ var _ FTL = (*Conventional)(nil)
 
 // NewConventional builds the baseline FTL over the device.
 func NewConventional(dev *nand.Device, opts Options) (*Conventional, error) {
-	b, err := NewBase(dev, opts)
-	if err != nil {
-		return nil, err
-	}
 	// A k=1 virtual-block manager degenerates to a plain block allocator
 	// with an ordered free pool, exactly what a conventional FTL keeps.
 	vbm, err := vblock.NewManager(dev.Config(), 1, 2)
 	if err != nil {
 		return nil, err
 	}
-	return &Conventional{Base: b, vbm: vbm}, nil
+	b, err := NewBase(dev, vbm, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Conventional{Base: b}, nil
 }
 
 // Name implements FTL.
@@ -98,7 +97,7 @@ func (c *Conventional) program(stream int, oob nand.OOB) (cost time.Duration, pp
 	if err != nil {
 		return 0, 0, err
 	}
-	ppn = c.Config().PPNForBlockPage(blk, page)
+	ppn = c.cfg.PPNForBlockPage(blk, page)
 	cost, err = c.Device().Program(ppn, oob)
 	if err != nil {
 		return 0, 0, err
@@ -120,7 +119,7 @@ func (c *Conventional) maybeGC() error {
 	}
 	c.inGC = true
 	defer func() { c.inGC = false }()
-	return c.GCLoop(c.vbm, c.excludeActive, c.programGC)
+	return c.GCLoop(c.excludeActive, c.programGC)
 }
 
 func (c *Conventional) excludeActive(b nand.BlockID) bool {

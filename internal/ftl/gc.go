@@ -4,7 +4,6 @@ import (
 	"time"
 
 	"ppbflash/internal/nand"
-	"ppbflash/internal/vblock"
 )
 
 // ReprogramFunc relocates one valid page during GC and returns the device
@@ -16,8 +15,26 @@ type ReprogramFunc func(oob nand.OOB) (time.Duration, nand.PPN, error)
 // valid-page relocation through the strategy's own reprogram routine,
 // erase, release. It runs until the free pool recovers to the high-water
 // mark or nothing reclaimable remains.
-func (b *Base) GCLoop(vbm *vblock.Manager, exclude func(nand.BlockID) bool, reprogram ReprogramFunc) error {
-	return b.GCLoopOrdered(vbm, exclude, reprogram, nil)
+//
+// Victims come from the manager's incrementally maintained invalid-count
+// index, so each pick costs O(candidates at the top count) instead of a
+// scan over every block; Options.DebugScanVictims restores the legacy
+// full-scan policy for cross-checking.
+func (b *Base) GCLoop(exclude func(nand.BlockID) bool, reprogram ReprogramFunc) error {
+	return b.GCLoopOrdered(exclude, reprogram, nil)
+}
+
+// pickVictim selects the next GC victim: full blocks only, then (when
+// fullOnly is cleared) any owned block as the desperation fallback.
+func (b *Base) pickVictim(fullOnly bool, exclude func(nand.BlockID) bool) (nand.BlockID, bool) {
+	if b.opts.DebugScanVictims {
+		iter := b.vbm.ForEachFull
+		if !fullOnly {
+			iter = b.vbm.ForEachOwned
+		}
+		return victimPolicy{dev: b.dev}.pick(iter, exclude)
+	}
+	return b.vbm.PickVictim(fullOnly, exclude, b.dev.EraseCount)
 }
 
 // GCLoopOrdered is GCLoop with a relocation-order hook: within each
@@ -27,20 +44,21 @@ func (b *Base) GCLoop(vbm *vblock.Manager, exclude func(nand.BlockID) bool, repr
 // of slow-deserving data — the paper does not fix a relocation order, and
 // this one makes the progressive migration converge. A nil fastFirst
 // keeps physical page order.
-func (b *Base) GCLoopOrdered(vbm *vblock.Manager, exclude func(nand.BlockID) bool,
+func (b *Base) GCLoopOrdered(exclude func(nand.BlockID) bool,
 	reprogram ReprogramFunc, fastFirst func(nand.OOB) bool) error {
+	vbm := b.vbm
 	b.stats.GCRuns.Inc()
 	for vbm.FreeBlocks() < b.opts.GCHighWater {
-		victim, ok := victimPolicy{dev: b.dev}.pick(vbm.ForEachFull, exclude)
+		victim, ok := b.pickVictim(true, exclude)
 		if !ok {
 			// Desperation: consider partially filled, non-active blocks.
-			victim, ok = victimPolicy{dev: b.dev}.pick(vbm.ForEachOwned, exclude)
+			victim, ok = b.pickVictim(false, exclude)
 			if !ok {
 				return nil // nothing reclaimable; let the write fail if truly full
 			}
 		}
 		before := vbm.FreeBlocks()
-		if err := b.collectBlock(vbm, victim, reprogram, fastFirst); err != nil {
+		if err := b.collectBlock(victim, reprogram, fastFirst); err != nil {
 			return err
 		}
 		if vbm.FreeBlocks() <= before {
@@ -56,8 +74,9 @@ func (b *Base) GCLoopOrdered(vbm *vblock.Manager, exclude func(nand.BlockID) boo
 // collectBlock relocates the victim's valid pages (optionally in two
 // passes ordered by fastFirst), erases it and returns it to the free
 // pool, charging all device time to GC.
-func (b *Base) collectBlock(vbm *vblock.Manager, victim nand.BlockID,
+func (b *Base) collectBlock(victim nand.BlockID,
 	reprogram ReprogramFunc, fastFirst func(nand.OOB) bool) error {
+	vbm := b.vbm
 	// A partially-used victim may still be queued as "pending": its next
 	// part could otherwise be opened as a relocation target mid-collect.
 	vbm.UnqueuePending(victim)
@@ -79,7 +98,7 @@ func (b *Base) collectBlock(vbm *vblock.Manager, victim nand.BlockID,
 			return err
 		}
 		b.table.Set(oob.LPN, newPPN)
-		if err := b.dev.Invalidate(ppn); err != nil {
+		if err := b.Invalidate(ppn); err != nil {
 			return err
 		}
 		b.stats.GCCopies.Inc()
@@ -87,7 +106,10 @@ func (b *Base) collectBlock(vbm *vblock.Manager, victim nand.BlockID,
 		b.stats.GCLatency.Observe(readCost + progCost)
 		return nil
 	}
-	var deferred []int
+	// The deferred-page scratch lives on the Base and is reused across
+	// collections: GC runs millions of times per replay and must not
+	// allocate per collected block.
+	deferred := b.gcDeferred[:0]
 	for page := 0; page < b.cfg.PagesPerBlock; page++ {
 		ppn := b.cfg.PPNForBlockPage(victim, page)
 		if b.dev.State(ppn) != nand.PageValid {
@@ -98,9 +120,11 @@ func (b *Base) collectBlock(vbm *vblock.Manager, victim nand.BlockID,
 			continue
 		}
 		if err := relocate(page); err != nil {
+			b.gcDeferred = deferred[:0]
 			return err
 		}
 	}
+	b.gcDeferred = deferred[:0]
 	for _, page := range deferred {
 		if err := relocate(page); err != nil {
 			return err

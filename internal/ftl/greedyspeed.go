@@ -24,7 +24,6 @@ const (
 type GreedySpeed struct {
 	Base
 	ident hotness.Identifier
-	vbm   *vblock.Manager
 
 	slow, fast       vblock.VB
 	slowOpen, fastOk bool
@@ -36,18 +35,18 @@ var _ FTL = (*GreedySpeed)(nil)
 // NewGreedySpeed builds the strawman FTL. A nil identifier defaults to
 // the paper's size-check at the device page size.
 func NewGreedySpeed(dev *nand.Device, opts Options, ident hotness.Identifier) (*GreedySpeed, error) {
-	b, err := NewBase(dev, opts)
+	vbm, err := vblock.NewManager(dev.Config(), 2, 2)
 	if err != nil {
 		return nil, err
 	}
-	vbm, err := vblock.NewManager(dev.Config(), 2, 2)
+	b, err := NewBase(dev, vbm, opts)
 	if err != nil {
 		return nil, err
 	}
 	if ident == nil {
 		ident = hotness.SizeCheck{ThresholdBytes: dev.Config().PageSize}
 	}
-	return &GreedySpeed{Base: b, ident: ident, vbm: vbm}, nil
+	return &GreedySpeed{Base: b, ident: ident}, nil
 }
 
 // Name implements FTL.
@@ -156,7 +155,7 @@ func (g *GreedySpeed) maybeGC() error {
 	}
 	g.inGC = true
 	defer func() { g.inGC = false }()
-	return g.GCLoop(g.vbm, g.excludeActive, g.program)
+	return g.GCLoop(g.excludeActive, g.program)
 }
 
 func (g *GreedySpeed) excludeActive(b nand.BlockID) bool {

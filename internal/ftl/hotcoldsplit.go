@@ -17,7 +17,6 @@ import (
 type HotColdSplit struct {
 	Base
 	ident hotness.Identifier
-	vbm   *vblock.Manager
 
 	active [2]nand.BlockID // per area
 	open   [2]bool
@@ -29,18 +28,18 @@ var _ FTL = (*HotColdSplit)(nil)
 // NewHotColdSplit builds the separation-only FTL. A nil identifier
 // defaults to the paper's size-check at the device page size.
 func NewHotColdSplit(dev *nand.Device, opts Options, ident hotness.Identifier) (*HotColdSplit, error) {
-	b, err := NewBase(dev, opts)
+	vbm, err := vblock.NewManager(dev.Config(), 1, 2)
 	if err != nil {
 		return nil, err
 	}
-	vbm, err := vblock.NewManager(dev.Config(), 1, 2)
+	b, err := NewBase(dev, vbm, opts)
 	if err != nil {
 		return nil, err
 	}
 	if ident == nil {
 		ident = hotness.SizeCheck{ThresholdBytes: dev.Config().PageSize}
 	}
-	return &HotColdSplit{Base: b, ident: ident, vbm: vbm}, nil
+	return &HotColdSplit{Base: b, ident: ident}, nil
 }
 
 // Name implements FTL.
@@ -110,7 +109,7 @@ func (h *HotColdSplit) maybeGC() error {
 	}
 	h.inGC = true
 	defer func() { h.inGC = false }()
-	return h.GCLoop(h.vbm, h.excludeActive, h.program)
+	return h.GCLoop(h.excludeActive, h.program)
 }
 
 func (h *HotColdSplit) excludeActive(b nand.BlockID) bool {

@@ -27,22 +27,16 @@ func (f *FigureResult) add(series string, v float64) {
 	f.Series[series] = append(f.Series[series], v)
 }
 
-// comparePair runs the same workload on a conventional and a PPB FTL over
-// the same device config.
-func comparePair(name string, s Scale, pageSize int, ratio float64, wl WorkloadBuilder) (conv, ppb Result, err error) {
+// pairSpecs builds the conventional/PPB spec pair of one comparison
+// point. Figures gather every pair of their sweep into one slice and
+// execute the whole batch through RunAll, so a multi-core host runs the
+// sweep's simulations concurrently.
+func pairSpecs(name string, s Scale, pageSize int, ratio float64, wl WorkloadBuilder) [2]RunSpec {
 	dev := s.DeviceConfig(pageSize, ratio)
-	conv, err = Run(RunSpec{
-		Name: name + "/conventional", Device: dev, Kind: KindConventional,
-		Workload: wl, Prefill: true,
-	})
-	if err != nil {
-		return conv, ppb, err
+	return [2]RunSpec{
+		{Name: name + "/conventional", Device: dev, Kind: KindConventional, Workload: wl, Prefill: true},
+		{Name: name + "/ppb", Device: dev, Kind: KindPPB, Workload: wl, Prefill: true},
 	}
-	ppb, err = Run(RunSpec{
-		Name: name + "/ppb", Device: dev, Kind: KindPPB,
-		Workload: wl, Prefill: true,
-	})
-	return conv, ppb, err
 }
 
 var paperTraces = []string{"mediaserver", "websql"}
@@ -70,20 +64,30 @@ func enhancementFigure(s Scale, id, title string, metric func(conv, ppb Result) 
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	tbl := metrics.NewTable(title, "trace", "8K page size", "16K page size")
-	fig := newFigure(id, tbl)
+	pageSizes := []int{8 << 10, 16 << 10}
+	specs := make([]RunSpec, 0, len(paperTraces)*len(pageSizes)*2)
 	for _, tr := range paperTraces {
 		wl, err := s.workloadByName(tr)
 		if err != nil {
 			return nil, err
 		}
-		var cells []any
-		cells = append(cells, tr)
-		for _, pageSize := range []int{8 << 10, 16 << 10} {
-			conv, ppb, err := comparePair(fmt.Sprintf("%s/%s/%dK", id, tr, pageSize>>10), s, pageSize, 2.0, wl)
-			if err != nil {
-				return nil, err
-			}
+		for _, pageSize := range pageSizes {
+			p := pairSpecs(fmt.Sprintf("%s/%s/%dK", id, tr, pageSize>>10), s, pageSize, 2.0, wl)
+			specs = append(specs, p[0], p[1])
+		}
+	}
+	results, err := RunAll(specs, s.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	tbl := metrics.NewTable(title, "trace", "8K page size", "16K page size")
+	fig := newFigure(id, tbl)
+	i := 0
+	for _, tr := range paperTraces {
+		cells := []any{tr}
+		for _, pageSize := range pageSizes {
+			conv, ppb := results[i], results[i+1]
+			i += 2
 			e := metric(conv, ppb)
 			fig.add(fmt.Sprintf("%s/%dK", tr, pageSize>>10), e)
 			cells = append(cells, fmt.Sprintf("%.2f%%", e*100))
@@ -104,13 +108,20 @@ func latencySweep(s Scale, id, title, traceName string, read bool) (*FigureResul
 	if err != nil {
 		return nil, err
 	}
+	ratios := []float64{2, 3, 4, 5}
+	specs := make([]RunSpec, 0, len(ratios)*2)
+	for _, ratio := range ratios {
+		p := pairSpecs(fmt.Sprintf("%s/%gx", id, ratio), s, 16<<10, ratio, wl)
+		specs = append(specs, p[0], p[1])
+	}
+	results, err := RunAll(specs, s.Parallelism)
+	if err != nil {
+		return nil, err
+	}
 	tbl := metrics.NewTable(title, "speed diff", "conventional FTL (s)", "FTL with PPB (s)", "delta")
 	fig := newFigure(id, tbl)
-	for _, ratio := range []float64{2, 3, 4, 5} {
-		conv, ppb, err := comparePair(fmt.Sprintf("%s/%gx", id, ratio), s, 16<<10, ratio, wl)
-		if err != nil {
-			return nil, err
-		}
+	for i, ratio := range ratios {
+		conv, ppb := results[2*i], results[2*i+1]
 		cv, pv := conv.ReadTotal.Seconds(), ppb.ReadTotal.Seconds()
 		if !read {
 			cv, pv = conv.WriteTotal.Seconds(), ppb.WriteTotal.Seconds()
@@ -148,18 +159,24 @@ func Figure18(s Scale) (*FigureResult, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	tbl := metrics.NewTable("Figure 18: Erased Block Count Comparison",
-		"trace", "conventional FTL", "FTL with PPB", "delta")
-	fig := newFigure("figure-18", tbl)
+	specs := make([]RunSpec, 0, len(paperTraces)*2)
 	for _, tr := range paperTraces {
 		wl, err := s.workloadByName(tr)
 		if err != nil {
 			return nil, err
 		}
-		conv, ppb, err := comparePair("figure-18/"+tr, s, 16<<10, 2.0, wl)
-		if err != nil {
-			return nil, err
-		}
+		p := pairSpecs("figure-18/"+tr, s, 16<<10, 2.0, wl)
+		specs = append(specs, p[0], p[1])
+	}
+	results, err := RunAll(specs, s.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	tbl := metrics.NewTable("Figure 18: Erased Block Count Comparison",
+		"trace", "conventional FTL", "FTL with PPB", "delta")
+	fig := newFigure("figure-18", tbl)
+	for i, tr := range paperTraces {
+		conv, ppb := results[2*i], results[2*i+1]
 		fig.add(tr+"/conventional", float64(conv.Erases))
 		fig.add(tr+"/ppb", float64(ppb.Erases))
 		delta := "n/a"
@@ -180,17 +197,23 @@ func MotivationFigure3(s Scale) (*FigureResult, error) {
 		return nil, err
 	}
 	wl := s.WebSQLWorkload()
+	kinds := []FTLKind{KindConventional, KindGreedySpeed, KindHotColdSplit, KindPPB}
+	specs := make([]RunSpec, len(kinds))
+	for i, kind := range kinds {
+		specs[i] = RunSpec{
+			Name: "motivation/" + string(kind), Device: s.DeviceConfig(16<<10, 2.0),
+			Kind: kind, Workload: wl, Prefill: true,
+		}
+	}
+	results, err := RunAll(specs, s.Parallelism)
+	if err != nil {
+		return nil, err
+	}
 	tbl := metrics.NewTable("Motivation (Figure 3): GC cost of naive speed placement (websql)",
 		"strategy", "GC copies", "erases", "WAF", "read total (s)")
 	fig := newFigure("motivation-3", tbl)
-	for _, kind := range []FTLKind{KindConventional, KindGreedySpeed, KindHotColdSplit, KindPPB} {
-		res, err := Run(RunSpec{
-			Name: "motivation/" + string(kind), Device: s.DeviceConfig(16<<10, 2.0),
-			Kind: kind, Workload: wl, Prefill: true,
-		})
-		if err != nil {
-			return nil, err
-		}
+	for i, kind := range kinds {
+		res := results[i]
 		fig.add(string(kind)+"/copies", float64(res.GCCopies))
 		fig.add(string(kind)+"/erases", float64(res.Erases))
 		fig.add(string(kind)+"/waf", res.WAF)
@@ -207,18 +230,24 @@ func AblationSplit(s Scale) (*FigureResult, error) {
 		return nil, err
 	}
 	wl := s.WebSQLWorkload()
-	tbl := metrics.NewTable("Ablation: virtual-block split factor (websql, 2x)",
-		"K", "read total (s)", "write total (s)", "migrations", "diversions")
-	fig := newFigure("ablation-split", tbl)
-	for _, k := range []int{2, 4, 8} {
-		res, err := Run(RunSpec{
+	ks := []int{2, 4, 8}
+	specs := make([]RunSpec, len(ks))
+	for i, k := range ks {
+		specs[i] = RunSpec{
 			Name: fmt.Sprintf("ablation-split/k%d", k), Device: s.DeviceConfig(16<<10, 2.0),
 			Kind: KindPPB, PPBOptions: core.Options{SplitFactor: k},
 			Workload: wl, Prefill: true,
-		})
-		if err != nil {
-			return nil, err
 		}
+	}
+	results, err := RunAll(specs, s.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	tbl := metrics.NewTable("Ablation: virtual-block split factor (websql, 2x)",
+		"K", "read total (s)", "write total (s)", "migrations", "diversions")
+	fig := newFigure("ablation-split", tbl)
+	for i, k := range ks {
+		res := results[i]
 		fig.add("read", res.ReadTotal.Seconds())
 		fig.add("migrations", float64(res.Migrations))
 		tbl.AddRow(fmt.Sprintf("%d", k), res.ReadTotal.Seconds(), res.WriteTotal.Seconds(),
@@ -236,30 +265,33 @@ func AblationIdentifier(s Scale) (*FigureResult, error) {
 	}
 	wl := s.WebSQLWorkload()
 	dev := s.DeviceConfig(16<<10, 2.0)
-	conv, err := Run(RunSpec{
-		Name: "ablation-ident/conventional", Device: dev, Kind: KindConventional,
-		Workload: wl, Prefill: true,
-	})
-	if err != nil {
-		return nil, err
-	}
-	tbl := metrics.NewTable("Ablation: first-stage identifier (websql, 2x)",
-		"identifier", "read total (s)", "read enhancement", "fast-read share")
-	fig := newFigure("ablation-identifier", tbl)
 	idents := []hotness.Identifier{
 		hotness.SizeCheck{ThresholdBytes: dev.PageSize},
 		hotness.NewRecency(4096),
 		hotness.Static{Result: hotness.AreaHot},
 		hotness.Static{Result: hotness.AreaCold},
 	}
+	specs := make([]RunSpec, 0, len(idents)+1)
+	specs = append(specs, RunSpec{
+		Name: "ablation-ident/conventional", Device: dev, Kind: KindConventional,
+		Workload: wl, Prefill: true,
+	})
 	for _, id := range idents {
-		res, err := Run(RunSpec{
+		specs = append(specs, RunSpec{
 			Name: "ablation-ident/" + id.Name(), Device: dev, Kind: KindPPB,
 			PPBOptions: core.Options{Identifier: id}, Workload: wl, Prefill: true,
 		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	results, err := RunAll(specs, s.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	conv := results[0]
+	tbl := metrics.NewTable("Ablation: first-stage identifier (websql, 2x)",
+		"identifier", "read total (s)", "read enhancement", "fast-read share")
+	fig := newFigure("ablation-identifier", tbl)
+	for i, id := range idents {
+		res := results[i+1]
 		e := metrics.Enhancement(conv.ReadTotal, res.ReadTotal)
 		fig.add(id.Name(), e)
 		tbl.AddRow(id.Name(), res.ReadTotal.Seconds(), fmt.Sprintf("%+.2f%%", e*100),
@@ -276,26 +308,30 @@ func AblationLayers(s Scale) (*FigureResult, error) {
 		return nil, err
 	}
 	wl := s.WebSQLWorkload()
+	layerCounts := []int{24, 48, 64, 96}
+	specs := make([]RunSpec, 0, len(layerCounts)*2)
+	for _, layers := range layerCounts {
+		dev := s.DeviceConfig(16<<10, 2.0)
+		dev.Layers = layers
+		specs = append(specs,
+			RunSpec{
+				Name: fmt.Sprintf("ablation-layers/%d/conv", layers), Device: dev,
+				Kind: KindConventional, Workload: wl, Prefill: true,
+			},
+			RunSpec{
+				Name: fmt.Sprintf("ablation-layers/%d/ppb", layers), Device: dev,
+				Kind: KindPPB, Workload: wl, Prefill: true,
+			})
+	}
+	results, err := RunAll(specs, s.Parallelism)
+	if err != nil {
+		return nil, err
+	}
 	tbl := metrics.NewTable("Ablation: gate stack layers (websql, 2x)",
 		"layers", "conventional read (s)", "ppb read (s)", "enhancement")
 	fig := newFigure("ablation-layers", tbl)
-	for _, layers := range []int{24, 48, 64, 96} {
-		dev := s.DeviceConfig(16<<10, 2.0)
-		dev.Layers = layers
-		conv, err := Run(RunSpec{
-			Name: fmt.Sprintf("ablation-layers/%d/conv", layers), Device: dev,
-			Kind: KindConventional, Workload: wl, Prefill: true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		ppb, err := Run(RunSpec{
-			Name: fmt.Sprintf("ablation-layers/%d/ppb", layers), Device: dev,
-			Kind: KindPPB, Workload: wl, Prefill: true,
-		})
-		if err != nil {
-			return nil, err
-		}
+	for i, layers := range layerCounts {
+		conv, ppb := results[2*i], results[2*i+1]
 		e := metrics.Enhancement(conv.ReadTotal, ppb.ReadTotal)
 		fig.add("enhancement", e)
 		tbl.AddRow(fmt.Sprintf("%d", layers), conv.ReadTotal.Seconds(), ppb.ReadTotal.Seconds(),

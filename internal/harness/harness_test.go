@@ -98,6 +98,42 @@ func TestRunAllKinds(t *testing.T) {
 	}
 }
 
+func TestRunAllMatchesSequentialRuns(t *testing.T) {
+	dev := testScale.DeviceConfig(16<<10, 2)
+	specs := []RunSpec{
+		{Name: "ra/conv", Device: dev, Kind: KindConventional, Workload: testScale.WebSQLWorkload(), Prefill: true},
+		{Name: "ra/ppb", Device: dev, Kind: KindPPB, Workload: testScale.WebSQLWorkload(), Prefill: true},
+		{Name: "ra/split", Device: dev, Kind: KindHotColdSplit, Workload: testScale.MediaWorkload(), Prefill: true},
+	}
+	parallel, err := RunAll(specs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, spec := range specs {
+		seq, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parallel[i] != seq {
+			t.Errorf("spec %d (%s): parallel result %+v != sequential %+v", i, spec.Name, parallel[i], seq)
+		}
+	}
+}
+
+func TestRunAllPropagatesErrors(t *testing.T) {
+	dev := testScale.DeviceConfig(16<<10, 2)
+	specs := []RunSpec{
+		{Name: "ok", Device: dev, Kind: KindConventional, Workload: testScale.WebSQLWorkload()},
+		{Name: "bad", Device: dev, Kind: "nope", Workload: testScale.WebSQLWorkload()},
+	}
+	if _, err := RunAll(specs, 2); err == nil {
+		t.Error("bad spec did not surface an error")
+	}
+	if _, err := RunAll(specs[:1], 1); err != nil {
+		t.Errorf("good spec failed: %v", err)
+	}
+}
+
 func TestPrefillExcludedFromStats(t *testing.T) {
 	dev := testScale.DeviceConfig(16<<10, 2)
 	few := func(logicalBytes uint64) workload.Generator {

@@ -5,6 +5,8 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"ppbflash/internal/core"
@@ -118,6 +120,107 @@ func Run(spec RunSpec) (Result, error) {
 		return Result{}, fmt.Errorf("harness: %s: %w", spec.Name, err)
 	}
 	return collect(spec, f), nil
+}
+
+// RunAll executes the specs on a pool of parallelism workers and returns
+// the results in spec order. Each run owns its device and FTL, so runs
+// are embarrassingly parallel and every result is identical to a
+// sequential Run of the same spec — parallelism only changes wall-clock
+// time, never the measurements. parallelism <= 0 means GOMAXPROCS. On
+// error the first failure (in worker completion order) is returned along
+// with the results of the runs that did succeed.
+func RunAll(specs []RunSpec, parallelism int) ([]Result, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(specs) {
+		parallelism = len(specs)
+	}
+	results := make([]Result, len(specs))
+	if parallelism <= 1 {
+		for i, spec := range specs {
+			res, err := Run(spec)
+			if err != nil {
+				return results, err
+			}
+			results[i] = res
+		}
+		return results, nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	jobs := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				// Fail fast: once any run has failed, the batch's caller
+				// will discard the results, so don't burn time on the
+				// remaining simulations.
+				mu.Lock()
+				failed := firstErr != nil
+				mu.Unlock()
+				if failed {
+					continue
+				}
+				res, err := Run(specs[i])
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	for i := range specs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results, firstErr
+}
+
+// NewPageOpsFTL builds the standard page-op microbenchmark subject: a
+// 512 MB-class Table 1 device under the given strategy with 20%
+// over-provisioning. Both the repo's PageOps benchmarks and `ppbench
+// -json` use this one constructor so the two always measure the same
+// configuration.
+func NewPageOpsFTL(kind FTLKind) (ftl.FTL, error) {
+	dev, err := nand.NewDevice(nand.TableOneConfig().Scaled(128))
+	if err != nil {
+		return nil, err
+	}
+	return buildFTL(RunSpec{Kind: kind, FTLOptions: ftl.Options{OverProvision: 0.2}}, dev)
+}
+
+// RunPageOps executes n iterations of the standard page-op loop (write
+// then read back, every third write bulk-sized so size-check
+// identifiers exercise both areas). This is the shared body of the
+// PageOps microbenchmarks.
+func RunPageOps(f ftl.FTL, n int) error {
+	span := f.LogicalPages()
+	for i := 0; i < n; i++ {
+		lpn := uint64(i) % span
+		size := 4096
+		if i%3 == 0 {
+			size = 64 * 1024
+		}
+		if err := f.Write(lpn, size); err != nil {
+			return err
+		}
+		if _, err := f.Read(lpn); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // prefill writes every logical page once, in order, as bulk cold data.

@@ -21,6 +21,11 @@ type Scale struct {
 	WriteTurnover float64
 	// Seed drives the deterministic workload generators.
 	Seed int64
+	// Parallelism is how many simulation runs an experiment executes
+	// concurrently through RunAll (each run owns its device, so results
+	// are bit-identical at any setting). Zero means GOMAXPROCS; one
+	// forces sequential execution.
+	Parallelism int
 }
 
 // Preset scales.

@@ -11,10 +11,19 @@ package hotness
 // The table is capacity-bounded. On overflow every count is halved and
 // zero entries are dropped (classic frequency aging), which also keeps
 // long-running traces from saturating counts.
+//
+// Two backings share the one type: a hash map for capacity-bounded
+// tables, and a dense per-LPN array (NewDenseFreqTable) for tables sized
+// to the whole logical space — the PPB default, where the cold area is
+// most of the device and every host read consults the table, so the map
+// hashing cost dominated the replay loop. The dense backing stores
+// count+1 (0 = untracked) and can never overflow, so it never ages.
 type FreqTable struct {
 	cap       int
 	promoteAt uint32
 	counts    map[uint64]uint32
+	dense     []uint32 // nil for map-backed tables
+	size      int      // tracked entries in the dense backing
 }
 
 // NewFreqTable builds a table with the given entry capacity and promotion
@@ -30,9 +39,20 @@ func NewFreqTable(capacity int, promoteAt uint32) *FreqTable {
 	return &FreqTable{cap: capacity, promoteAt: promoteAt, counts: make(map[uint64]uint32)}
 }
 
+// NewDenseFreqTable builds a table covering the LPN range [0, span) with
+// a flat array. Use it when the capacity would cover the whole logical
+// space anyway: same behavior as the map backing (which would never
+// overflow either), with O(1) array indexing instead of hashing.
+func NewDenseFreqTable(span uint64, promoteAt uint32) *FreqTable {
+	if promoteAt == 0 {
+		promoteAt = 2
+	}
+	return &FreqTable{cap: int(span), promoteAt: promoteAt, dense: make([]uint32, span)}
+}
+
 // Level returns the cold-area level of lpn and whether it is tracked.
 func (f *FreqTable) Level(lpn uint64) (Level, bool) {
-	c, ok := f.counts[lpn]
+	c, ok := f.get(lpn)
 	if !ok {
 		return 0, false
 	}
@@ -42,32 +62,57 @@ func (f *FreqTable) Level(lpn uint64) (Level, bool) {
 	return IcyCold, true
 }
 
-// OnWrite registers (or refreshes) a cold-area chunk. A rewrite resets
-// the read frequency: the chunk is new data at the same address.
-func (f *FreqTable) OnWrite(lpn uint64) {
-	f.counts[lpn] = 0
+// get returns the read count of lpn and whether it is tracked.
+func (f *FreqTable) get(lpn uint64) (uint32, bool) {
+	if f.dense != nil {
+		if lpn >= uint64(len(f.dense)) || f.dense[lpn] == 0 {
+			return 0, false
+		}
+		return f.dense[lpn] - 1, true
+	}
+	c, ok := f.counts[lpn]
+	return c, ok
+}
+
+// set stores the read count of lpn, inserting it if untracked.
+func (f *FreqTable) set(lpn uint64, c uint32) {
+	if f.dense != nil {
+		if lpn >= uint64(len(f.dense)) {
+			return
+		}
+		if f.dense[lpn] == 0 {
+			f.size++
+		}
+		if c == ^uint32(0) {
+			c-- // keep count+1 from wrapping to "untracked"
+		}
+		f.dense[lpn] = c + 1
+		return
+	}
+	f.counts[lpn] = c
 	f.maybeAge()
 }
+
+// OnWrite registers (or refreshes) a cold-area chunk. A rewrite resets
+// the read frequency: the chunk is new data at the same address.
+func (f *FreqTable) OnWrite(lpn uint64) { f.set(lpn, 0) }
 
 // InsertDemoted admits a chunk demoted from the hot area, seeding its
 // frequency at the promotion threshold minus one so one more read
 // re-promotes it within the cold area.
-func (f *FreqTable) InsertDemoted(lpn uint64) {
-	f.counts[lpn] = f.promoteAt - 1
-	f.maybeAge()
-}
+func (f *FreqTable) InsertDemoted(lpn uint64) { f.set(lpn, f.promoteAt-1) }
 
 // OnRead logs a re-access and returns the chunk's level afterwards; ok is
 // false when the chunk is not cold-area data.
 func (f *FreqTable) OnRead(lpn uint64) (Level, bool) {
-	c, ok := f.counts[lpn]
+	c, ok := f.get(lpn)
 	if !ok {
 		return 0, false
 	}
 	if c < ^uint32(0) {
 		c++
 	}
-	f.counts[lpn] = c
+	f.set(lpn, c)
 	if c >= f.promoteAt {
 		return Cold, true
 	}
@@ -75,13 +120,30 @@ func (f *FreqTable) OnRead(lpn uint64) (Level, bool) {
 }
 
 // ReadCount returns the logged re-access count of lpn (0 if untracked).
-func (f *FreqTable) ReadCount(lpn uint64) uint32 { return f.counts[lpn] }
+func (f *FreqTable) ReadCount(lpn uint64) uint32 {
+	c, _ := f.get(lpn)
+	return c
+}
 
 // Remove forgets lpn.
-func (f *FreqTable) Remove(lpn uint64) { delete(f.counts, lpn) }
+func (f *FreqTable) Remove(lpn uint64) {
+	if f.dense != nil {
+		if lpn < uint64(len(f.dense)) && f.dense[lpn] != 0 {
+			f.dense[lpn] = 0
+			f.size--
+		}
+		return
+	}
+	delete(f.counts, lpn)
+}
 
 // Len returns the number of tracked chunks.
-func (f *FreqTable) Len() int { return len(f.counts) }
+func (f *FreqTable) Len() int {
+	if f.dense != nil {
+		return f.size
+	}
+	return len(f.counts)
+}
 
 // maybeAge halves all counts when the table overflows, dropping entries
 // that reach zero. Repeated halving always frees space eventually; if a

@@ -97,23 +97,23 @@ func TestStaticIdentifier(t *testing.T) {
 
 func TestTwoLevelBasicFlow(t *testing.T) {
 	tr := NewTwoLevelLRU(4, 4)
-	lvl, dem := tr.OnWrite(10, 1)
-	if lvl != Hot || len(dem) != 0 {
+	lvl, dem, demoted := tr.OnWrite(10, 1)
+	if lvl != Hot || demoted {
 		t.Fatalf("first write: %v %v", lvl, dem)
 	}
 	if got, ok := tr.Level(10); !ok || got != Hot {
 		t.Fatalf("Level = %v %v", got, ok)
 	}
 	// A read promotes hot -> iron-hot.
-	lvl, dem, ok := tr.OnRead(10)
-	if !ok || lvl != IronHot || len(dem) != 0 {
+	lvl, dem, demoted, ok := tr.OnRead(10)
+	if !ok || lvl != IronHot || demoted {
 		t.Fatalf("read promote: %v %v %v", lvl, dem, ok)
 	}
 	if got, _ := tr.Level(10); got != IronHot {
 		t.Fatalf("after promote: %v", got)
 	}
 	// An update of iron-hot data keeps it iron-hot.
-	lvl, _ = tr.OnWrite(10, 2)
+	lvl, _, _ = tr.OnWrite(10, 2)
 	if lvl != IronHot {
 		t.Fatalf("iron update: %v", lvl)
 	}
@@ -126,9 +126,9 @@ func TestTwoLevelHotOverflowDemotesToColdArea(t *testing.T) {
 	tr := NewTwoLevelLRU(2, 2)
 	tr.OnWrite(1, 1)
 	tr.OnWrite(2, 2)
-	_, dem := tr.OnWrite(3, 3)
-	if len(dem) != 1 || dem[0].LPN != 1 || dem[0].LastWrite != 1 {
-		t.Fatalf("demotion = %+v, want LPN 1", dem)
+	_, dem, demoted := tr.OnWrite(3, 3)
+	if !demoted || dem.LPN != 1 || dem.LastWrite != 1 {
+		t.Fatalf("demotion = %+v (%v), want LPN 1", dem, demoted)
 	}
 	if _, ok := tr.Level(1); ok {
 		t.Error("demoted entry still tracked")
@@ -148,11 +148,11 @@ func TestTwoLevelIronOverflowDemotesTailToHot(t *testing.T) {
 	// Promote 30: iron overflows and its tail (20) drops to the hot
 	// head. The promotion itself freed a hot slot, so nothing can leave
 	// the area through OnRead — every promotion is a 1-for-1 swap.
-	lvl, dem, ok := tr.OnRead(30)
+	lvl, dem, demoted, ok := tr.OnRead(30)
 	if !ok || lvl != IronHot {
 		t.Fatalf("promotion failed: %v %v", lvl, ok)
 	}
-	if len(dem) != 0 {
+	if demoted {
 		t.Fatalf("OnRead demoted %+v out of the area; promotion must be a swap", dem)
 	}
 	if got, _ := tr.Level(20); got != Hot {
@@ -168,7 +168,7 @@ func TestTwoLevelIronOverflowDemotesTailToHot(t *testing.T) {
 
 func TestTwoLevelOnReadUnknown(t *testing.T) {
 	tr := NewTwoLevelLRU(2, 2)
-	if _, _, ok := tr.OnRead(99); ok {
+	if _, _, _, ok := tr.OnRead(99); ok {
 		t.Error("unknown LPN should not be hot-area data")
 	}
 }
@@ -179,22 +179,22 @@ func TestTwoLevelDemote(t *testing.T) {
 	tr.OnRead(1) // 1 in iron
 	tr.OnWrite(2, 2)
 	// Demote iron entry 1: falls to hot head, hot cap 1 evicts 2.
-	dem := tr.Demote(1)
-	if len(dem) != 1 || dem[0].LPN != 2 {
-		t.Fatalf("demote cascade = %+v", dem)
+	dem, demoted := tr.Demote(1)
+	if !demoted || dem.LPN != 2 {
+		t.Fatalf("demote cascade = %+v (%v)", dem, demoted)
 	}
 	if got, _ := tr.Level(1); got != Hot {
 		t.Errorf("1 should be hot, got %v", got)
 	}
 	// Demote hot entry 1: leaves the area entirely.
-	dem = tr.Demote(1)
-	if len(dem) != 1 || dem[0].LPN != 1 {
-		t.Fatalf("hot demote = %+v", dem)
+	dem, demoted = tr.Demote(1)
+	if !demoted || dem.LPN != 1 {
+		t.Fatalf("hot demote = %+v (%v)", dem, demoted)
 	}
 	if _, ok := tr.Level(1); ok {
 		t.Error("1 still tracked")
 	}
-	if dem := tr.Demote(42); dem != nil {
+	if dem, demoted := tr.Demote(42); demoted {
 		t.Errorf("demoting unknown LPN = %v", dem)
 	}
 }
@@ -218,9 +218,9 @@ func TestTwoLevelLRUOrderIsRecency(t *testing.T) {
 	tr.OnWrite(2, 2)
 	tr.OnWrite(3, 3)
 	tr.OnWrite(1, 4) // refresh 1; LRU tail is now 2
-	_, dem := tr.OnWrite(4, 5)
-	if len(dem) != 1 || dem[0].LPN != 2 {
-		t.Fatalf("LRU eviction = %+v, want 2", dem)
+	_, dem, demoted := tr.OnWrite(4, 5)
+	if !demoted || dem.LPN != 2 {
+		t.Fatalf("LRU eviction = %+v (%v), want 2", dem, demoted)
 	}
 }
 

@@ -1,16 +1,35 @@
 package hotness
 
-import "container/list"
-
 // lruList is a capacity-bounded LRU of LPNs with an attached uint64 value
 // (PPB stores the sequence number of the last write, used by the
 // "demote if not modified" rule).
+//
+// Entries live in a preallocated slab linked by int32 indices instead of
+// container/list: every host write and read touches these lists, so
+// insertion and eviction must not allocate per operation. The slab never
+// exceeds cap+1 nodes (insertFront evicts back to cap immediately), and
+// freed nodes are recycled through a free list.
 type lruList struct {
 	cap   int
-	order *list.List // front = most recently used
-	index map[uint64]*list.Element
+	nodes []lruNode
+	head  int32 // most recently used; nilNode when empty
+	tail  int32 // least recently used
+	free  int32 // recycled-node chain (linked through next)
+	size  int
+	index map[uint64]int32
 }
 
+const nilNode = int32(-1)
+
+type lruNode struct {
+	lpn  uint64
+	val  uint64
+	prev int32
+	next int32
+}
+
+// lruEntry is the exported-shape view of a node (lpn + value), returned
+// for evictions.
 type lruEntry struct {
 	lpn uint64
 	val uint64
@@ -20,10 +39,16 @@ func newLRUList(capacity int) *lruList {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &lruList{cap: capacity, order: list.New(), index: make(map[uint64]*list.Element)}
+	return &lruList{
+		cap:   capacity,
+		head:  nilNode,
+		tail:  nilNode,
+		free:  nilNode,
+		index: make(map[uint64]int32, capacity+1),
+	}
 }
 
-func (l *lruList) len() int { return l.order.Len() }
+func (l *lruList) len() int { return l.size }
 
 func (l *lruList) contains(lpn uint64) bool {
 	_, ok := l.index[lpn]
@@ -31,22 +56,64 @@ func (l *lruList) contains(lpn uint64) bool {
 }
 
 func (l *lruList) value(lpn uint64) (uint64, bool) {
-	if e, ok := l.index[lpn]; ok {
-		return e.Value.(*lruEntry).val, true
+	if n, ok := l.index[lpn]; ok {
+		return l.nodes[n].val, true
 	}
 	return 0, false
+}
+
+// unlink detaches node n from the order chain (index map untouched).
+func (l *lruList) unlink(n int32) {
+	nd := &l.nodes[n]
+	if nd.prev != nilNode {
+		l.nodes[nd.prev].next = nd.next
+	} else {
+		l.head = nd.next
+	}
+	if nd.next != nilNode {
+		l.nodes[nd.next].prev = nd.prev
+	} else {
+		l.tail = nd.prev
+	}
+}
+
+// pushFront links node n at the MRU position.
+func (l *lruList) pushFront(n int32) {
+	nd := &l.nodes[n]
+	nd.prev, nd.next = nilNode, l.head
+	if l.head != nilNode {
+		l.nodes[l.head].prev = n
+	}
+	l.head = n
+	if l.tail == nilNode {
+		l.tail = n
+	}
+}
+
+// alloc takes a node from the free chain or grows the slab.
+func (l *lruList) alloc() int32 {
+	if l.free != nilNode {
+		n := l.free
+		l.free = l.nodes[n].next
+		return n
+	}
+	l.nodes = append(l.nodes, lruNode{})
+	return int32(len(l.nodes) - 1)
 }
 
 // touch moves lpn to the MRU position, optionally updating its value,
 // and reports whether the entry existed.
 func (l *lruList) touch(lpn uint64, val uint64, setVal bool) bool {
-	e, ok := l.index[lpn]
+	n, ok := l.index[lpn]
 	if !ok {
 		return false
 	}
-	l.order.MoveToFront(e)
+	if l.head != n {
+		l.unlink(n)
+		l.pushFront(n)
+	}
 	if setVal {
-		e.Value.(*lruEntry).val = val
+		l.nodes[n].val = val
 	}
 	return true
 }
@@ -57,33 +124,34 @@ func (l *lruList) insertFront(lpn uint64, val uint64) (evicted lruEntry, overflo
 	if l.touch(lpn, val, true) {
 		return lruEntry{}, false
 	}
-	l.index[lpn] = l.order.PushFront(&lruEntry{lpn: lpn, val: val})
-	if l.order.Len() > l.cap {
-		tail := l.order.Back()
-		ent := tail.Value.(*lruEntry)
-		l.order.Remove(tail)
-		delete(l.index, ent.lpn)
-		return *ent, true
+	n := l.alloc()
+	l.nodes[n] = lruNode{lpn: lpn, val: val}
+	l.pushFront(n)
+	l.index[lpn] = n
+	l.size++
+	if l.size <= l.cap {
+		return lruEntry{}, false
 	}
-	return lruEntry{}, false
+	t := l.tail
+	ent := lruEntry{lpn: l.nodes[t].lpn, val: l.nodes[t].val}
+	l.unlink(t)
+	delete(l.index, ent.lpn)
+	l.nodes[t].next = l.free
+	l.free = t
+	l.size--
+	return ent, true
 }
 
 // remove deletes lpn and reports whether it was present.
 func (l *lruList) remove(lpn uint64) bool {
-	e, ok := l.index[lpn]
+	n, ok := l.index[lpn]
 	if !ok {
 		return false
 	}
-	l.order.Remove(e)
+	l.unlink(n)
 	delete(l.index, lpn)
+	l.nodes[n].next = l.free
+	l.free = n
+	l.size--
 	return true
-}
-
-// tail returns the LRU entry without removing it.
-func (l *lruList) tail() (lruEntry, bool) {
-	e := l.order.Back()
-	if e == nil {
-		return lruEntry{}, false
-	}
-	return *e.Value.(*lruEntry), true
 }

@@ -41,63 +41,65 @@ func (t *TwoLevelLRU) Level(lpn uint64) (Level, bool) {
 // OnWrite records a write of lpn with the given sequence number: tracked
 // entries are refreshed in place (an update does not change the level; an
 // iron-hot chunk that is rewritten is still frequently read *and*
-// written), new entries enter the hot list head. The returned demotions
-// (at most one) must be inserted into the cold area by the caller.
-func (t *TwoLevelLRU) OnWrite(lpn uint64, seq uint64) (Level, []Demotion) {
+// written), new entries enter the hot list head. At most one entry can
+// fall out of the area per write; when demoted is true the caller must
+// insert dem into the cold area. (The single-value return — rather than
+// a slice — keeps the per-write tracker update allocation-free.)
+func (t *TwoLevelLRU) OnWrite(lpn uint64, seq uint64) (lvl Level, dem Demotion, demoted bool) {
 	if t.iron.touch(lpn, seq, true) {
-		return IronHot, nil
+		return IronHot, Demotion{}, false
 	}
 	if t.hot.touch(lpn, seq, true) {
-		return Hot, nil
+		return Hot, Demotion{}, false
 	}
 	if ev, overflow := t.hot.insertFront(lpn, seq); overflow {
-		return Hot, []Demotion{{LPN: ev.lpn, LastWrite: ev.val}}
+		return Hot, Demotion{LPN: ev.lpn, LastWrite: ev.val}, true
 	}
-	return Hot, nil
+	return Hot, Demotion{}, false
 }
 
 // OnRead records a read of lpn. A hot-list hit is promoted to the
 // iron-hot list (Figure 10a "promote if read"); an iron-hot hit is
-// refreshed. Promotion can cascade demotions: the iron tail falls to the
-// hot head, and the hot tail may fall out of the area. The returned level
-// is the entry's level after the read; ok is false when lpn is not
-// hot-area data.
-func (t *TwoLevelLRU) OnRead(lpn uint64) (lvl Level, demoted []Demotion, ok bool) {
+// refreshed. Promotion can cascade a demotion: the iron tail falls to
+// the hot head, and the hot tail may fall out of the area (dem, when
+// demoted is true). The returned level is the entry's level after the
+// read; ok is false when lpn is not hot-area data.
+func (t *TwoLevelLRU) OnRead(lpn uint64) (lvl Level, dem Demotion, demoted, ok bool) {
 	if t.iron.touch(lpn, 0, false) {
-		return IronHot, nil, true
+		return IronHot, Demotion{}, false, true
 	}
 	seq, tracked := t.hot.value(lpn)
 	if !tracked {
-		return 0, nil, false
+		return 0, Demotion{}, false, false
 	}
 	t.hot.remove(lpn)
 	if ev, overflow := t.iron.insertFront(lpn, seq); overflow {
 		// Iron tail drops to the hot head ("demote if full")...
 		if ev2, overflow2 := t.hot.insertFront(ev.lpn, ev.val); overflow2 {
 			// ...which may push the hot tail out of the area.
-			demoted = append(demoted, Demotion{LPN: ev2.lpn, LastWrite: ev2.val})
+			return IronHot, Demotion{LPN: ev2.lpn, LastWrite: ev2.val}, true, true
 		}
 	}
-	return IronHot, demoted, true
+	return IronHot, Demotion{}, false, true
 }
 
 // Demote moves an iron-hot entry down to the hot list, or removes a
 // hot-list entry from the area entirely, returning any cascaded demotion.
 // Used by the FTL when virtual-block pressure forces a demotion
 // (Figure 10b II: "demote when iron-hot data update").
-func (t *TwoLevelLRU) Demote(lpn uint64) []Demotion {
+func (t *TwoLevelLRU) Demote(lpn uint64) (dem Demotion, demoted bool) {
 	if seq, ok := t.iron.value(lpn); ok {
 		t.iron.remove(lpn)
 		if ev, overflow := t.hot.insertFront(lpn, seq); overflow {
-			return []Demotion{{LPN: ev.lpn, LastWrite: ev.val}}
+			return Demotion{LPN: ev.lpn, LastWrite: ev.val}, true
 		}
-		return nil
+		return Demotion{}, false
 	}
 	if seq, ok := t.hot.value(lpn); ok {
 		t.hot.remove(lpn)
-		return []Demotion{{LPN: lpn, LastWrite: seq}}
+		return Demotion{LPN: lpn, LastWrite: seq}, true
 	}
-	return nil
+	return Demotion{}, false
 }
 
 // Remove forgets lpn entirely (e.g. the logical page was trimmed).

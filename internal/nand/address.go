@@ -49,11 +49,14 @@ func (c Config) BlockAddress(b BlockID) (chip, block int) {
 }
 
 // PPNForBlockPage builds a flat PPN from a flat block id and page index.
-func (c Config) PPNForBlockPage(b BlockID, page int) PPN {
+// Pointer receiver: called once per simulated page operation (see the
+// note in latency.go).
+func (c *Config) PPNForBlockPage(b BlockID, page int) PPN {
 	return PPN(uint64(b)*uint64(c.PagesPerBlock) + uint64(page))
 }
 
-// SplitPPN returns the flat block id and page index of a PPN.
-func (c Config) SplitPPN(p PPN) (BlockID, int) {
+// SplitPPN returns the flat block id and page index of a PPN. Pointer
+// receiver: called once per simulated page operation.
+func (c *Config) SplitPPN(p PPN) (BlockID, int) {
 	return BlockID(uint64(p) / uint64(c.PagesPerBlock)), int(uint64(p) % uint64(c.PagesPerBlock))
 }

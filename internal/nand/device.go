@@ -68,7 +68,7 @@ type DeviceStats struct {
 	Erases   metrics.Counter
 	ReadTime metrics.Latency
 	ProgTime metrics.Latency
-	EraseTim metrics.Latency
+	EraseTime metrics.Latency
 }
 
 // Device is a simulated 3D charge-trap NAND device. It is not safe for
@@ -78,6 +78,13 @@ type Device struct {
 	blocks  []blockState
 	stats   DeviceStats
 	progSeq uint64 // global program counter (drives block age)
+
+	// Per-page operation costs, precomputed at construction: the speed
+	// ramp is pure arithmetic but runs on every simulated page op, and
+	// a table lookup is far cheaper than recomputing the layer scaling
+	// per access.
+	readCost []time.Duration
+	progCost []time.Duration
 }
 
 // NewDevice builds a device from a validated config.
@@ -89,6 +96,12 @@ func NewDevice(cfg Config) (*Device, error) {
 	for i := range d.blocks {
 		d.blocks[i].states = make([]PageState, cfg.PagesPerBlock)
 		d.blocks[i].oob = make([]OOB, cfg.PagesPerBlock)
+	}
+	d.readCost = make([]time.Duration, cfg.PagesPerBlock)
+	d.progCost = make([]time.Duration, cfg.PagesPerBlock)
+	for p := range d.readCost {
+		d.readCost[p] = cfg.ReadCost(p)
+		d.progCost[p] = cfg.ProgramCost(p)
 	}
 	return d, nil
 }
@@ -140,7 +153,7 @@ func (d *Device) Read(p PPN) (OOB, time.Duration, error) {
 	if blk.states[page] == PageFree {
 		return OOB{}, 0, fmt.Errorf("%w: %v", ErrReadFree, d.cfg.AddressOf(p))
 	}
-	cost := d.cfg.ReadCost(page)
+	cost := d.readCost[page]
 	d.stats.Reads.Inc()
 	d.stats.ReadTime.Observe(cost)
 	return blk.oob[page], cost, nil
@@ -169,7 +182,7 @@ func (d *Device) Program(p PPN, oob OOB) (time.Duration, error) {
 	blk.validPages++
 	d.progSeq++
 	blk.lastProg = d.progSeq
-	cost := d.cfg.ProgramCost(page)
+	cost := d.progCost[page]
 	d.stats.Programs.Inc()
 	d.stats.ProgTime.Observe(cost)
 	return cost, nil
@@ -227,7 +240,7 @@ func (d *Device) eraseBlock(blk *blockState) time.Duration {
 	blk.invalid = 0
 	blk.eraseCount++
 	d.stats.Erases.Inc()
-	d.stats.EraseTim.Observe(d.cfg.EraseLatency)
+	d.stats.EraseTime.Observe(d.cfg.EraseLatency)
 	return d.cfg.EraseLatency
 }
 

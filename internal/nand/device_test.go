@@ -221,7 +221,7 @@ func TestDeviceStatsAccumulate(t *testing.T) {
 		t.Errorf("stats = %d programs %d reads %d erases, want 1 each",
 			s.Programs.Value(), s.Reads.Value(), s.Erases.Value())
 	}
-	if s.ReadTime.Total <= 0 || s.ProgTime.Total <= 0 || s.EraseTim.Total <= 0 {
+	if s.ReadTime.Total <= 0 || s.ProgTime.Total <= 0 || s.EraseTime.Total <= 0 {
 		t.Error("latency accumulators should be positive")
 	}
 	if d.TotalErases() != 1 {

@@ -22,16 +22,22 @@ import "time"
 // therefore goes slow half first, fast half last, which is what makes the
 // paper's virtual block 2n (allocated first) the slow one.
 
+// The per-page helpers below take pointer receivers: they run once per
+// simulated page operation, and a value receiver would copy the whole
+// Config on every call (plus once more for each nested helper) — the
+// single largest CPU cost of the replay loop before the change. Pointer
+// receivers still apply to any addressable Config value.
+
 // LayerOf returns the gate stack layer holding the given page index.
 // Consecutive runs of PagesPerBlock/Layers pages share one layer.
-func (c Config) LayerOf(page int) int {
+func (c *Config) LayerOf(page int) int {
 	perLayer := c.PagesPerBlock / c.Layers
 	return page / perLayer
 }
 
 // SpeedFactor returns the relative access speed of a page (1.0 for the
 // slowest page at the top layer, SpeedRatio for the bottom layer).
-func (c Config) SpeedFactor(page int) float64 {
+func (c *Config) SpeedFactor(page int) float64 {
 	if c.Layers <= 1 {
 		return 1
 	}
@@ -41,24 +47,24 @@ func (c Config) SpeedFactor(page int) float64 {
 
 // ReadLatencyOf returns the cell read (sense) time of the given page,
 // excluding transfer time.
-func (c Config) ReadLatencyOf(page int) time.Duration {
+func (c *Config) ReadLatencyOf(page int) time.Duration {
 	return scaleLatency(c.ReadLatency, c.SpeedFactor(page))
 }
 
 // ProgramLatencyOf returns the cell program time of the given page,
 // excluding transfer time.
-func (c Config) ProgramLatencyOf(page int) time.Duration {
+func (c *Config) ProgramLatencyOf(page int) time.Duration {
 	return scaleLatency(c.ProgramLatency, c.SpeedFactor(page))
 }
 
 // ReadCost returns the full cost of a page read: sense plus transfer.
-func (c Config) ReadCost(page int) time.Duration {
+func (c *Config) ReadCost(page int) time.Duration {
 	return c.ReadLatencyOf(page) + c.TransferTime()
 }
 
 // ProgramCost returns the full cost of a page program: transfer plus
 // program pulse.
-func (c Config) ProgramCost(page int) time.Duration {
+func (c *Config) ProgramCost(page int) time.Duration {
 	return c.ProgramLatencyOf(page) + c.TransferTime()
 }
 

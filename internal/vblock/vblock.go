@@ -19,7 +19,6 @@
 package vblock
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 
@@ -52,12 +51,23 @@ const (
 	phaseFull             // all pages programmed; waiting for GC
 )
 
+// nilBlock terminates the intrusive bucket lists of the victim index.
+const nilBlock = int32(-1)
+
 type blockInfo struct {
 	phase     blockPhase
 	pool      int
 	allocated int  // number of parts handed out
 	cursor    int  // next page to program
 	pending   bool // block sits in its pool's pending queue
+
+	// Victim-index state: invalid counts pages reported through
+	// NoteInvalidated since the last release; prev/next link the block
+	// into its invalid-count bucket (meaningful only while inIdx).
+	invalid int
+	inIdx   bool
+	prev    int32
+	next    int32
 }
 
 // Errors reported for manager misuse.
@@ -70,14 +80,24 @@ var (
 )
 
 // Manager tracks VB allocation across all blocks of a device config.
+//
+// Besides the Figure 9 lifecycle it maintains an incremental garbage
+// collection victim index: blocks with at least one invalidated page sit
+// in intrusive doubly-linked lists bucketed by invalid-page count, so the
+// greedy victim (most invalid pages) is found by walking buckets from the
+// top instead of scanning every block. Invalidations are reported by the
+// FTL through NoteInvalidated; erase/release maintenance is automatic.
 type Manager struct {
 	cfg      nand.Config
 	k        int
 	partLen  int
 	blocks   []blockInfo
-	free     intHeap
+	free     blockHeap
 	pendingQ [][]nand.BlockID // FIFO of blocks whose next part is allocatable, per pool
 	fullCnt  int
+
+	buckets []int32 // victim index: bucket heads by invalid count
+	maxInv  int     // upper bound on the highest occupied bucket
 }
 
 // NewManager builds a manager splitting every block into k virtual
@@ -103,12 +123,16 @@ func NewManager(cfg nand.Config, k, pools int) (*Manager, error) {
 		partLen:  cfg.PagesPerBlock / k,
 		blocks:   make([]blockInfo, cfg.TotalBlocks()),
 		pendingQ: make([][]nand.BlockID, pools),
+		buckets:  make([]int32, cfg.PagesPerBlock+1),
 	}
-	m.free = make(intHeap, cfg.TotalBlocks())
+	for i := range m.buckets {
+		m.buckets[i] = nilBlock
+	}
+	// A sorted slice is already a valid min-heap.
+	m.free = make(blockHeap, cfg.TotalBlocks())
 	for i := range m.free {
-		m.free[i] = i
+		m.free[i] = int32(i)
 	}
-	heap.Init(&m.free)
 	return m, nil
 }
 
@@ -195,7 +219,7 @@ func (m *Manager) AllocateFirst(pool int) (VB, error) {
 	if m.free.Len() == 0 {
 		return VB{}, ErrNoFreeBlocks
 	}
-	b := nand.BlockID(heap.Pop(&m.free).(int))
+	b := nand.BlockID(m.free.pop())
 	bi := &m.blocks[b]
 	*bi = blockInfo{phase: phaseOwned, pool: pool, allocated: 1, cursor: 0}
 	return m.vb(b, 0), nil
@@ -229,7 +253,7 @@ func (m *Manager) OpenPendingGroup(pool int, fast bool) (VB, bool) {
 		if m.FastPart(bi.allocated) != fast {
 			continue
 		}
-		m.pendingQ[pool] = append(append([]nand.BlockID{}, q[:i]...), q[i+1:]...)
+		m.pendingQ[pool] = append(q[:i], q[i+1:]...)
 		bi.pending = false
 		part := bi.allocated
 		bi.allocated++
@@ -297,8 +321,9 @@ func (m *Manager) Release(b nand.BlockID) error {
 		return fmt.Errorf("%w: block %d phase %d", ErrNotFull, b, bi.phase)
 	}
 	m.fullCnt--
+	m.idxRemove(b)
 	*bi = blockInfo{}
-	heap.Push(&m.free, int(b))
+	m.free.push(int32(b))
 	return nil
 }
 
@@ -321,9 +346,97 @@ func (m *Manager) ReleaseForce(b nand.BlockID) error {
 			}
 		}
 	}
+	m.idxRemove(b)
 	*bi = blockInfo{}
-	heap.Push(&m.free, int(b))
+	m.free.push(int32(b))
 	return nil
+}
+
+// NoteInvalidated records that one page of the block was invalidated on
+// the device, keeping the victim index current. FTLs must call it after
+// every successful device Invalidate; release resets the count.
+func (m *Manager) NoteInvalidated(b nand.BlockID) {
+	bi := &m.blocks[b]
+	if bi.phase == phaseFree || bi.invalid >= m.cfg.PagesPerBlock {
+		return
+	}
+	m.idxRemove(b)
+	bi.invalid++
+	m.idxPush(b)
+}
+
+// InvalidCount returns how many pages of the block were reported invalid
+// through NoteInvalidated since it was last released.
+func (m *Manager) InvalidCount(b nand.BlockID) int { return m.blocks[b].invalid }
+
+// idxPush links the block at the head of its invalid-count bucket.
+func (m *Manager) idxPush(b nand.BlockID) {
+	bi := &m.blocks[b]
+	head := &m.buckets[bi.invalid]
+	bi.prev, bi.next = nilBlock, *head
+	if *head != nilBlock {
+		m.blocks[*head].prev = int32(b)
+	}
+	*head = int32(b)
+	bi.inIdx = true
+	if bi.invalid > m.maxInv {
+		m.maxInv = bi.invalid
+	}
+}
+
+// idxRemove unlinks the block from the victim index (no-op when absent).
+func (m *Manager) idxRemove(b nand.BlockID) {
+	bi := &m.blocks[b]
+	if !bi.inIdx {
+		return
+	}
+	if bi.prev != nilBlock {
+		m.blocks[bi.prev].next = bi.next
+	} else {
+		m.buckets[bi.invalid] = bi.next
+	}
+	if bi.next != nilBlock {
+		m.blocks[bi.next].prev = bi.prev
+	}
+	bi.inIdx = false
+}
+
+// PickVictim returns the greedy garbage-collection victim: the block with
+// the most invalidated pages, restricted to fully-programmed blocks when
+// fullOnly is set (the desperation pass over partially-filled blocks
+// clears it). Among equally-invalid candidates the lowest wear wins when
+// a wear callback is given. The walk starts at the highest occupied
+// invalid-count bucket, so cost is bounded by the number of candidates
+// sharing the top eligible count — independent of the device's block
+// count — rather than a full ForEachFull/ForEachOwned scan.
+func (m *Manager) PickVictim(fullOnly bool, exclude func(nand.BlockID) bool, wear func(nand.BlockID) uint32) (nand.BlockID, bool) {
+	for m.maxInv >= 1 && m.buckets[m.maxInv] == nilBlock {
+		m.maxInv--
+	}
+	for inv := m.maxInv; inv >= 1; inv-- {
+		var best nand.BlockID
+		var bestWear uint32
+		found := false
+		for node := m.buckets[inv]; node != nilBlock; node = m.blocks[node].next {
+			b := nand.BlockID(node)
+			if fullOnly && m.blocks[node].phase != phaseFull {
+				continue
+			}
+			if exclude != nil && exclude(b) {
+				continue
+			}
+			if wear == nil {
+				return b, true
+			}
+			if w := wear(b); !found || w < bestWear {
+				best, bestWear, found = b, w, true
+			}
+		}
+		if found {
+			return best, true
+		}
+	}
+	return 0, false
 }
 
 // ForEachFull calls fn for every full block until fn returns false.
@@ -373,6 +486,13 @@ func (m *Manager) CheckInvariants() error {
 		if queued && qPool != bi.pool {
 			return fmt.Errorf("vblock: block %d queued under wrong pool", b)
 		}
+		if bi.inIdx != (bi.invalid > 0 && bi.phase != phaseFree) {
+			return fmt.Errorf("vblock: block %d inIdx=%v with %d invalid, phase %d",
+				b, bi.inIdx, bi.invalid, bi.phase)
+		}
+		if bi.invalid < 0 || bi.invalid > m.cfg.PagesPerBlock {
+			return fmt.Errorf("vblock: block %d invalid count %d out of range", b, bi.invalid)
+		}
 		switch bi.phase {
 		case phaseFree:
 			if bi.allocated != 0 || bi.cursor != 0 || bi.pending {
@@ -401,20 +521,84 @@ func (m *Manager) CheckInvariants() error {
 	if full != m.fullCnt {
 		return fmt.Errorf("vblock: full count %d, cached %d", full, m.fullCnt)
 	}
+	// Victim index: every bucket's nodes must carry that bucket's invalid
+	// count, links must be symmetric, each indexed block appears once, and
+	// maxInv bounds the occupied buckets.
+	seen := 0
+	for inv, head := range m.buckets {
+		prev := nilBlock
+		for node := head; node != nilBlock; node = m.blocks[node].next {
+			bi := &m.blocks[node]
+			if !bi.inIdx || bi.invalid != inv {
+				return fmt.Errorf("vblock: block %d in bucket %d with inIdx=%v invalid=%d",
+					node, inv, bi.inIdx, bi.invalid)
+			}
+			if bi.prev != prev {
+				return fmt.Errorf("vblock: block %d bucket link broken (prev %d, want %d)",
+					node, bi.prev, prev)
+			}
+			if inv > m.maxInv {
+				return fmt.Errorf("vblock: occupied bucket %d above maxInv %d", inv, m.maxInv)
+			}
+			prev = node
+			if seen++; seen > len(m.blocks) {
+				return fmt.Errorf("vblock: victim index cycle detected")
+			}
+		}
+	}
+	indexed := 0
+	for i := range m.blocks {
+		if m.blocks[i].inIdx {
+			indexed++
+		}
+	}
+	if indexed != seen {
+		return fmt.Errorf("vblock: %d blocks flagged inIdx, %d linked", indexed, seen)
+	}
 	return nil
 }
 
-// intHeap is a min-heap of block indices (lowest block number first).
-type intHeap []int
+// blockHeap is a min-heap of block indices (lowest block number first).
+// Hand-rolled rather than container/heap so that the per-allocation and
+// per-release heap operations never box ints into interfaces — block
+// allocation sits on the replay hot path.
+type blockHeap []int32
 
-func (h intHeap) Len() int           { return len(h) }
-func (h intHeap) Less(i, j int) bool { return h[i] < h[j] }
-func (h intHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *intHeap) Push(x any)        { *h = append(*h, x.(int)) }
-func (h *intHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h blockHeap) Len() int { return len(h) }
+
+func (h *blockHeap) push(x int32) {
+	*h = append(*h, x)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if s[parent] <= s[i] {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func (h *blockHeap) pop() int32 {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && s[r] < s[child] {
+			child = r
+		}
+		if s[i] <= s[child] {
+			break
+		}
+		s[i], s[child] = s[child], s[i]
+		i = child
+	}
+	return top
 }

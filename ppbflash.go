@@ -189,6 +189,20 @@ var (
 // Run executes one simulation run.
 func Run(spec RunSpec) (RunResult, error) { return harness.Run(spec) }
 
+// RunAll executes the specs on a worker pool of the given parallelism
+// (0 = GOMAXPROCS) and returns results in spec order. Each run owns its
+// device, so results are identical to sequential Run calls.
+func RunAll(specs []RunSpec, parallelism int) ([]RunResult, error) {
+	return harness.RunAll(specs, parallelism)
+}
+
+// NewPageOpsFTL builds the standard page-op microbenchmark subject
+// shared by the repo benchmarks and ppbench -json.
+func NewPageOpsFTL(kind FTLKind) (FTL, error) { return harness.NewPageOpsFTL(kind) }
+
+// RunPageOps executes n iterations of the standard page-op loop.
+func RunPageOps(f FTL, n int) error { return harness.RunPageOps(f, n) }
+
 // Replay feeds a generator through an FTL, splitting requests into pages.
 func Replay(f FTL, gen Generator) error { return harness.Replay(f, gen) }
 
