@@ -6,7 +6,7 @@
 // Usage:
 //
 //	flashsim -ftl ppb -trace websql.csv [-format msr] [-gb 4] \
-//	         [-ratio 2] [-pagesize 16384] [-prefill] [-parallel N]
+//	         [-ratio 2] [-pagesize 16384] [-chips N] [-prefill] [-parallel N]
 //
 // -ftl accepts a comma-separated list (e.g. -ftl conventional,ppb); the
 // strategies replay the same trace concurrently on a worker pool.
@@ -30,6 +30,7 @@ func main() {
 		gb       = flag.Float64("gb", 4, "device capacity in GiB (Table 1 geometry, scaled)")
 		ratio    = flag.Float64("ratio", 2, "bottom/top page speed ratio (paper: 2-5)")
 		pageSize = flag.Int("pagesize", 16<<10, "page size in bytes")
+		chips    = flag.Int("chips", 1, "flash chips sharing the capacity (chip-parallel service)")
 		prefill  = flag.Bool("prefill", true, "write the whole logical space before replay")
 		disk     = flag.Int("disk", -1, "replay only this MSR disk number (-1 = all)")
 		parallel = flag.Int("parallel", 0, "concurrent runs when several FTLs are given (0 = GOMAXPROCS)")
@@ -58,6 +59,9 @@ func main() {
 	cfg := ppbflash.TableOneConfig().Scaled(divisor).WithSpeedRatio(*ratio)
 	if *pageSize != cfg.PageSize {
 		cfg = cfg.WithPageSize(*pageSize)
+	}
+	if *chips > 1 {
+		cfg = cfg.WithChips(*chips)
 	}
 
 	var specs []ppbflash.RunSpec
@@ -91,11 +95,13 @@ func main() {
 		if i > 0 {
 			fmt.Println()
 		}
-		fmt.Printf("device: %.1f GiB, %d KB pages, ratio %.0fx, %s FTL\n",
-			float64(cfg.TotalBytes())/(1<<30), cfg.PageSize>>10, cfg.SpeedRatio, specs[i].Kind)
+		fmt.Printf("device: %.1f GiB, %d KB pages, ratio %.0fx, %d chip(s), %s FTL\n",
+			float64(cfg.TotalBytes())/(1<<30), cfg.PageSize>>10, cfg.SpeedRatio, cfg.Chips, specs[i].Kind)
 		fmt.Printf("host:   %d page reads (%d unmapped), %d page writes\n",
 			res.HostReadPages, res.UnmappedReads, res.HostWritePage)
-		fmt.Printf("time:   read total %v, write total %v\n", res.ReadTotal, res.WriteTotal)
+		fmt.Printf("time:   read total %v, write total %v, makespan %v\n", res.ReadTotal, res.WriteTotal, res.Makespan)
+		fmt.Printf("lat:    read p50/p95/p99 %v/%v/%v, write p50/p95/p99 %v/%v/%v\n",
+			res.ReadP50, res.ReadP95, res.ReadP99, res.WriteP50, res.WriteP95, res.WriteP99)
 		fmt.Printf("gc:     %d erases, %d copies, WAF %.2f\n", res.Erases, res.GCCopies, res.WAF)
 		fmt.Printf("layout: %.1f%% of host reads served from fast pages\n", res.FastReadShare*100)
 		if res.Kind == ppbflash.KindPPB {

@@ -21,6 +21,11 @@
 // cold) never triggers an immediate copy. Data migrates to a page of the
 // right speed only when it is rewritten by the host or relocated by GC,
 // so the strategy adds no write or GC overhead of its own (§4.2).
+//
+// On multi-chip devices PPB inherits channel striping from the
+// virtual-block manager: each pool's freshly allocated blocks rotate
+// across chips, so the per-pool pipelines spread over the channels
+// without any PPB-specific chip logic.
 package core
 
 import (

@@ -15,6 +15,13 @@
 //
 // The PPB strategy itself lives in internal/core and plugs into the same
 // FTL interface.
+//
+// Every strategy allocates blocks through vblock.Manager, which stripes
+// the free pool round-robin across chips on multi-chip devices: each
+// newly opened active block lands on the next chip, so host and GC
+// streams spread over the channels and the device's chip-parallel
+// service model can overlap their operations. Strategies need no
+// chip awareness of their own.
 package ftl
 
 import (

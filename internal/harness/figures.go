@@ -340,6 +340,67 @@ func AblationLayers(s Scale) (*FigureResult, error) {
 	return fig, nil
 }
 
+// ChipSweepCounts is the chip axis of experiment a4.
+var ChipSweepCounts = []int{1, 2, 4, 8}
+
+// ChipSweep (experiment a4) measures what the paper-scale figures cannot
+// express on a single serial chip: per-request tail latency and simulated
+// makespan as the same device capacity is spread over 1, 2, 4 and 8 chips
+// with channel-striped block allocation, for both traces, conventional vs
+// PPB. Chip-parallel service lets garbage-collection reads, programs and
+// multi-millisecond erases overlap host work on other chips, so makespan
+// falls as chips increase while per-page cost totals stay comparable.
+func ChipSweep(s Scale) (*FigureResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	base := s.DeviceConfig(16<<10, 2.0)
+	// Trim the block count to a multiple of every sweep point so all
+	// points export exactly the same capacity (WithChips divides evenly);
+	// never trim below one block per chip at the widest point.
+	maxChips := ChipSweepCounts[len(ChipSweepCounts)-1]
+	base.BlocksPerChip -= base.BlocksPerChip % maxChips
+	if base.BlocksPerChip < maxChips {
+		base.BlocksPerChip = maxChips
+	}
+	specs := make([]RunSpec, 0, len(paperTraces)*len(ChipSweepCounts)*2)
+	for _, tr := range paperTraces {
+		wl, err := s.workloadByName(tr)
+		if err != nil {
+			return nil, err
+		}
+		for _, chips := range ChipSweepCounts {
+			p := pairSpecs(fmt.Sprintf("chip-sweep/%s/%dc", tr, chips), s, 16<<10, 2.0, wl)
+			dev := base.WithChips(chips)
+			p[0].Device, p[1].Device = dev, dev
+			specs = append(specs, p[0], p[1])
+		}
+	}
+	results, err := RunAll(specs, s.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	tbl := metrics.NewTable("Experiment a4: chip-parallel tail latency and makespan (ratio 2x)",
+		"trace", "chips", "conv makespan (s)", "ppb makespan (s)", "read enhancement", "ppb read p99", "ppb write p99")
+	fig := newFigure("a4-chip-sweep", tbl)
+	i := 0
+	for _, tr := range paperTraces {
+		for _, chips := range ChipSweepCounts {
+			conv, ppb := results[i], results[i+1]
+			i += 2
+			e := metrics.Enhancement(conv.ReadTotal, ppb.ReadTotal)
+			fig.add(tr+"/makespan/conv", conv.Makespan.Seconds())
+			fig.add(tr+"/makespan/ppb", ppb.Makespan.Seconds())
+			fig.add(tr+"/enhancement", e)
+			fig.add(tr+"/readp99/ppb", ppb.ReadP99.Seconds())
+			fig.add(tr+"/writep99/ppb", ppb.WriteP99.Seconds())
+			tbl.AddRow(tr, chips, conv.Makespan.Seconds(), ppb.Makespan.Seconds(),
+				fmt.Sprintf("%+.2f%%", e*100), ppb.ReadP99, ppb.WriteP99)
+		}
+	}
+	return fig, nil
+}
+
 // TableOne renders the experimental parameters (the paper's Table 1).
 func TableOne() *FigureResult {
 	cfg := Scale{DeviceDivisor: 1, WriteTurnover: 1}.DeviceConfig(16<<10, 2.0)
@@ -370,7 +431,8 @@ var Experiments = map[string]func(Scale) (*FigureResult, error){
 	"a1": AblationSplit,
 	"a2": AblationIdentifier,
 	"a3": AblationLayers,
+	"a4": ChipSweep,
 }
 
 // ExperimentOrder is the presentation order for "run everything".
-var ExperimentOrder = []string{"12", "13", "14", "15", "16", "17", "18", "3", "a1", "a2", "a3"}
+var ExperimentOrder = []string{"12", "13", "14", "15", "16", "17", "18", "3", "a1", "a2", "a3", "a4"}

@@ -11,6 +11,7 @@ import (
 
 	"ppbflash/internal/core"
 	"ppbflash/internal/ftl"
+	"ppbflash/internal/metrics"
 	"ppbflash/internal/nand"
 	"ppbflash/internal/trace"
 	"ppbflash/internal/workload"
@@ -67,6 +68,24 @@ type Result struct {
 	WAF           float64
 	FastReadShare float64 // fraction of host reads served from fast halves
 
+	// Per-request completion latency percentiles under the device's
+	// chip-parallel service model (closed loop, queue depth 1): the time
+	// from a request's issue to the completion of its last page operation,
+	// including any garbage-collection work the request triggered.
+	// Percentiles are nearest-rank upper bounds from
+	// metrics.DefaultLatencyHistogram.
+	ReadP50  time.Duration
+	ReadP95  time.Duration
+	ReadP99  time.Duration
+	WriteP50 time.Duration
+	WriteP95 time.Duration
+	WriteP99 time.Duration
+	// Makespan is the simulated end-to-end service time of the measured
+	// trace: the time at which the last chip drained its queue. With
+	// Chips=1 it equals the serial sum of every operation cost; with more
+	// chips, overlapped operations shrink it.
+	Makespan time.Duration
+
 	// PPB-only counters (zero otherwise).
 	Migrations uint64
 	Diversions uint64
@@ -115,11 +134,17 @@ func Run(spec RunSpec) (Result, error) {
 			return Result{}, fmt.Errorf("harness: %s: prefill: %w", spec.Name, err)
 		}
 		*f.Stats() = ftl.Stats{} // measure the trace, not the prefill
+		dev.ResetClocks()        // makespan/latency measure the trace too
 	}
-	if err := Replay(f, gen); err != nil {
+	// Snapshot the device erase counter so collect reports only trace-era
+	// erases: the FTL stats reset above cannot reach the device counter,
+	// and prefill on a tight logical space runs real garbage collection.
+	eraseBase := dev.TotalErases()
+	rm := NewReplayMetrics()
+	if err := ReplayMeasured(f, gen, rm); err != nil {
 		return Result{}, fmt.Errorf("harness: %s: %w", spec.Name, err)
 	}
-	return collect(spec, f), nil
+	return collect(spec, f, eraseBase, rm), nil
 }
 
 // RunAll executes the specs on a pool of parallelism workers and returns
@@ -236,16 +261,44 @@ func prefill(f ftl.FTL) error {
 	return nil
 }
 
+// ReplayMetrics accumulates per-request completion latencies during a
+// measured replay. Request latency is measured under the device's
+// chip-parallel service model: a request issues when the previous request
+// completed (closed loop, queue depth 1), its page operations queue on
+// their chips, and its latency is the finish time of its last operation
+// minus its issue time — garbage-collection work a write triggers is
+// charged to that write's latency, which is exactly the tail a host sees.
+type ReplayMetrics struct {
+	ReadLatency  *metrics.Histogram
+	WriteLatency *metrics.Histogram
+}
+
+// NewReplayMetrics builds latency histograms with the default request
+// bounds (metrics.DefaultLatencyHistogram).
+func NewReplayMetrics() *ReplayMetrics {
+	return &ReplayMetrics{
+		ReadLatency:  metrics.DefaultLatencyHistogram(),
+		WriteLatency: metrics.DefaultLatencyHistogram(),
+	}
+}
+
 // Replay feeds every request of the generator through the FTL,
-// splitting byte ranges into page operations.
+// splitting byte ranges into page operations. Latency is not recorded;
+// use ReplayMeasured for per-request percentiles.
 func Replay(f ftl.FTL, gen workload.Generator) error {
+	return ReplayMeasured(f, gen, nil)
+}
+
+// ReplayMeasured is Replay recording per-request completion latency into
+// m (nil m skips measurement and leaves the device issue clock alone).
+func ReplayMeasured(f ftl.FTL, gen workload.Generator, m *ReplayMetrics) error {
 	pageSize := f.Device().Config().PageSize
 	for {
 		r, ok := gen.Next()
 		if !ok {
 			return nil
 		}
-		if err := ReplayRequest(f, r, pageSize); err != nil {
+		if err := replayRequest(f, r, pageSize, m); err != nil {
 			return err
 		}
 	}
@@ -253,6 +306,17 @@ func Replay(f ftl.FTL, gen workload.Generator) error {
 
 // ReplayRequest issues one trace request as page-level FTL operations.
 func ReplayRequest(f ftl.FTL, r trace.Request, pageSize int) error {
+	return replayRequest(f, r, pageSize, nil)
+}
+
+func replayRequest(f ftl.FTL, r trace.Request, pageSize int, m *ReplayMetrics) error {
+	dev := f.Device()
+	issue := dev.Now()
+	var opsBefore uint64
+	if m != nil {
+		st := dev.Stats()
+		opsBefore = st.Reads.Value() + st.Programs.Value() + st.Erases.Value()
+	}
 	first, last := r.Pages(pageSize)
 	for lpn := first; lpn <= last; lpn++ {
 		if r.Op == trace.OpWrite {
@@ -265,10 +329,29 @@ func ReplayRequest(f ftl.FTL, r trace.Request, pageSize int) error {
 			}
 		}
 	}
+	if m != nil {
+		// Requests that touched no device page (reads of never-written
+		// LPNs) have no service latency; observing their 0 would drag the
+		// read percentiles toward zero on non-prefilled replays.
+		st := dev.Stats()
+		if st.Reads.Value()+st.Programs.Value()+st.Erases.Value() != opsBefore {
+			// The request completes when the last of its operations
+			// drains; advancing the issue clock to that point makes the
+			// host closed-loop (the next request issues at this one's
+			// completion).
+			fin := dev.Makespan()
+			if r.Op == trace.OpWrite {
+				m.WriteLatency.Observe(fin - issue)
+			} else {
+				m.ReadLatency.Observe(fin - issue)
+			}
+			dev.AdvanceTo(fin)
+		}
+	}
 	return nil
 }
 
-func collect(spec RunSpec, f ftl.FTL) Result {
+func collect(spec RunSpec, f ftl.FTL, eraseBase uint64, rm *ReplayMetrics) Result {
 	st := f.Stats()
 	res := Result{
 		Name:          spec.Name,
@@ -278,9 +361,18 @@ func collect(spec RunSpec, f ftl.FTL) Result {
 		HostReadPages: st.HostReads.Value(),
 		HostWritePage: st.HostWrites.Value(),
 		UnmappedReads: st.UnmappedReads.Value(),
-		Erases:        f.Device().TotalErases(),
+		Erases:        f.Device().TotalErases() - eraseBase,
 		GCCopies:      st.GCCopies.Value(),
 		WAF:           st.WAF(),
+	}
+	if rm != nil {
+		res.ReadP50 = rm.ReadLatency.Quantile(0.50)
+		res.ReadP95 = rm.ReadLatency.Quantile(0.95)
+		res.ReadP99 = rm.ReadLatency.Quantile(0.99)
+		res.WriteP50 = rm.WriteLatency.Quantile(0.50)
+		res.WriteP95 = rm.WriteLatency.Quantile(0.95)
+		res.WriteP99 = rm.WriteLatency.Quantile(0.99)
+		res.Makespan = f.Device().Makespan()
 	}
 	if reads := st.FastReads.Value() + st.SlowReads.Value(); reads > 0 {
 		res.FastReadShare = float64(st.FastReads.Value()) / float64(reads)

@@ -8,6 +8,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"time"
 )
 
@@ -96,6 +97,21 @@ func DefaultReadHistogram() *Histogram {
 	)
 }
 
+// DefaultLatencyHistogram covers per-request completion latencies: a
+// geometric ladder from 10 µs to ~5 s with four steps per octave
+// (x1, x1.25, x1.5, x1.75 per doubling), so quantile upper bounds carry
+// at most ~25% resolution error. Requests span single fast-page reads
+// (~25 µs) up to writes that absorb a whole garbage-collection burst
+// (hundreds of page copies plus multi-ms erases), so the range is much
+// wider than a single page op's.
+func DefaultLatencyHistogram() *Histogram {
+	bounds := make([]time.Duration, 0, 80)
+	for b := 10 * time.Microsecond; b <= 5*time.Second; b *= 2 {
+		bounds = append(bounds, b, b*5/4, b*3/2, b*7/4)
+	}
+	return NewHistogram(bounds...)
+}
+
 // Observe records one sample.
 func (h *Histogram) Observe(d time.Duration) {
 	idx := len(h.bounds)
@@ -138,6 +154,10 @@ func (h *Histogram) Mean() time.Duration {
 
 // Quantile returns an upper bound for the q-quantile (0 < q <= 1) using
 // bucket upper bounds; the overflow bucket reports the observed max.
+//
+// The target rank is the nearest-rank ceil(q*n): truncating instead (as
+// this function once did) returned rank floor(q*n), so e.g. the p95 of 10
+// samples came from rank 9 — the p90 — instead of rank 10.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	if h.total == 0 || q <= 0 {
 		return 0
@@ -145,9 +165,12 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	if q > 1 {
 		q = 1
 	}
-	target := uint64(q * float64(h.total))
+	target := uint64(math.Ceil(q * float64(h.total)))
 	if target == 0 {
 		target = 1
+	}
+	if target > h.total {
+		target = h.total
 	}
 	var cum uint64
 	for i, c := range h.counts {

@@ -1,0 +1,207 @@
+package nand
+
+import (
+	"testing"
+	"time"
+)
+
+// twoChipConfig is testConfig spread over two chips.
+func twoChipConfig() Config {
+	cfg := testConfig()
+	cfg.Chips = 2
+	return cfg
+}
+
+// TestMakespanSerialOnOneChip: with a single chip the service model must
+// degenerate to plain serial cost accounting — the makespan is exactly
+// the sum of every operation cost, which is what keeps Chips=1 results
+// bit-identical to the pre-chip-parallel simulator.
+func TestMakespanSerialOnOneChip(t *testing.T) {
+	d := MustNewDevice(testConfig())
+	var sum time.Duration
+	for page := 0; page < 4; page++ {
+		cost, err := d.Program(d.cfg.PPNForBlockPage(0, page), OOB{LPN: uint64(page)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += cost
+		if got := d.LastFinish(); got != sum {
+			t.Fatalf("page %d: last finish %v, want running sum %v", page, got, sum)
+		}
+	}
+	for page := 0; page < 4; page++ {
+		_, cost, err := d.Read(d.cfg.PPNForBlockPage(0, page))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += cost
+	}
+	if got := d.Makespan(); got != sum {
+		t.Errorf("makespan = %v, want serial sum %v", got, sum)
+	}
+}
+
+// TestChipsOverlap: operations on different chips issued at the same host
+// time occupy their chips concurrently, so the makespan is the maximum of
+// the per-chip queues, not the sum.
+func TestChipsOverlap(t *testing.T) {
+	cfg := twoChipConfig()
+	d := MustNewDevice(cfg)
+	chip1Block := BlockID(cfg.BlocksPerChip) // first block of chip 1
+	c0, err := d.Program(cfg.PPNForBlockPage(0, 0), OOB{LPN: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := d.Program(cfg.PPNForBlockPage(chip1Block, 0), OOB{LPN: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c0
+	if c1 > want {
+		want = c1
+	}
+	if got := d.Makespan(); got != want {
+		t.Errorf("two-chip makespan = %v, want max(%v, %v)", got, c0, c1)
+	}
+	if d.ChipFree(0) != c0 || d.ChipFree(1) != c1 {
+		t.Errorf("chip free clocks = %v/%v, want %v/%v", d.ChipFree(0), d.ChipFree(1), c0, c1)
+	}
+	// Same chip queues serially even at the same issue time.
+	c0b, err := d.Program(cfg.PPNForBlockPage(0, 1), OOB{LPN: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.ChipFree(0); got != c0+c0b {
+		t.Errorf("chip 0 free = %v, want queued %v", got, c0+c0b)
+	}
+}
+
+// TestAdvanceToGatesIssue: after AdvanceTo, an idle chip starts new work
+// at the host clock, not at its stale free time; AdvanceTo never moves
+// the clock backward.
+func TestAdvanceToGatesIssue(t *testing.T) {
+	cfg := twoChipConfig()
+	d := MustNewDevice(cfg)
+	c0, err := d.Program(cfg.PPNForBlockPage(0, 0), OOB{LPN: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.AdvanceTo(c0)
+	d.AdvanceTo(c0 / 2) // no-op: never backward
+	if d.Now() != c0 {
+		t.Fatalf("now = %v, want %v", d.Now(), c0)
+	}
+	// Chip 1 was idle; its next op starts at now, finishing at now+cost.
+	chip1Block := BlockID(cfg.BlocksPerChip)
+	c1, err := d.Program(cfg.PPNForBlockPage(chip1Block, 0), OOB{LPN: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.LastFinish(); got != c0+c1 {
+		t.Errorf("idle chip finished at %v, want issue %v + cost %v", got, c0, c1)
+	}
+}
+
+// TestEraseOccupiesChip: erase time is booked on the owning chip like any
+// other operation.
+func TestEraseOccupiesChip(t *testing.T) {
+	cfg := twoChipConfig()
+	d := MustNewDevice(cfg)
+	if _, err := d.EraseForce(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.ChipFree(0); got != cfg.EraseLatency {
+		t.Errorf("chip 0 free = %v, want erase latency %v", got, cfg.EraseLatency)
+	}
+	if got := d.ChipFree(1); got != 0 {
+		t.Errorf("chip 1 free = %v, want idle", got)
+	}
+}
+
+func TestResetClocks(t *testing.T) {
+	d := MustNewDevice(testConfig())
+	if _, err := d.Program(d.cfg.PPNForBlockPage(0, 0), OOB{}); err != nil {
+		t.Fatal(err)
+	}
+	d.AdvanceTo(d.LastFinish())
+	d.ResetClocks()
+	if d.Now() != 0 || d.LastFinish() != 0 || d.Makespan() != 0 {
+		t.Errorf("clocks not reset: now=%v last=%v makespan=%v", d.Now(), d.LastFinish(), d.Makespan())
+	}
+	// Contents and stats survive the reset.
+	if d.State(d.cfg.PPNForBlockPage(0, 0)) != PageValid {
+		t.Error("reset touched page state")
+	}
+	if d.Stats().Programs.Value() != 1 {
+		t.Error("reset touched stats")
+	}
+}
+
+func TestWithChipsPreservesCapacity(t *testing.T) {
+	base := TableOneConfig()
+	base.BlocksPerChip = 10920 // multiple of 8: sweep points divide evenly
+	for _, chips := range []int{1, 2, 4, 8} {
+		cfg := base.WithChips(chips)
+		if cfg.Chips != chips {
+			t.Fatalf("chips = %d, want %d", cfg.Chips, chips)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("chips=%d: %v", chips, err)
+		}
+		if got, want := cfg.TotalBytes(), base.TotalBytes(); got != want {
+			t.Errorf("chips=%d: capacity %d, want %d", chips, got, want)
+		}
+	}
+	// Non-dividing counts round to the nearest whole per-chip share.
+	odd := base
+	odd.BlocksPerChip = 10922
+	cfg := odd.WithChips(4)
+	if cfg.BlocksPerChip != 2731 { // round(10922/4) = round(2730.5) = 2731
+		t.Errorf("BlocksPerChip = %d, want 2731", cfg.BlocksPerChip)
+	}
+	// More chips than blocks caps at one block per chip — never inflates
+	// the device.
+	tiny := base
+	tiny.BlocksPerChip = 40
+	cfg = tiny.WithChips(64)
+	if cfg.Chips != 40 || cfg.BlocksPerChip != 1 {
+		t.Errorf("oversubscribed chips = %d x %d blocks, want 40 x 1", cfg.Chips, cfg.BlocksPerChip)
+	}
+	if cfg.TotalBytes() != tiny.TotalBytes() {
+		t.Errorf("oversubscribed capacity %d, want %d", cfg.TotalBytes(), tiny.TotalBytes())
+	}
+}
+
+// TestWithPageSizeRoundsToNearestBlock: the block count must round, not
+// truncate — flooring shrank the 8 KB device below the 16 KB baseline
+// whenever the capacity did not divide evenly.
+func TestWithPageSizeRoundsToNearestBlock(t *testing.T) {
+	cfg := TableOneConfig()
+	cfg.BlocksPerChip = 341 // bench-scale block count
+	resized := cfg.WithPageSize(10 * 1024)
+	// 341*384*16384 / (10240*384) = 545.6: nearest block is 546 (floor
+	// loses half a block of capacity).
+	if resized.BlocksPerChip != 546 {
+		t.Errorf("BlocksPerChip = %d, want 546 (nearest), not 545 (floor)", resized.BlocksPerChip)
+	}
+	blockBytes := uint64(resized.PageSize * resized.PagesPerBlock)
+	diff := int64(resized.TotalBytes()) - int64(cfg.TotalBytes())
+	if diff < 0 {
+		diff = -diff
+	}
+	if uint64(diff) > blockBytes/2 {
+		t.Errorf("capacity drift %d bytes exceeds half a block (%d)", diff, blockBytes/2)
+	}
+}
+
+// TestPaperPageSizeComparisonEqualCapacity pins the paper's 8 KB-vs-16 KB
+// comparison to equal devices at every scale the harness uses.
+func TestPaperPageSizeComparisonEqualCapacity(t *testing.T) {
+	for _, divisor := range []int{1, 32, 64, 128} {
+		cfg16 := TableOneConfig().Scaled(divisor)
+		cfg8 := cfg16.WithPageSize(8 * 1024)
+		if got, want := cfg8.TotalBytes(), cfg16.TotalBytes(); got != want {
+			t.Errorf("divisor %d: 8K device %d bytes, 16K baseline %d", divisor, got, want)
+		}
+	}
+}

@@ -97,13 +97,45 @@ func (c Config) Scaled(n int) Config {
 // WithPageSize returns a copy of the config using the given page size while
 // keeping total device capacity constant (block count is rescaled). Used
 // for the paper's 8 KB vs 16 KB comparison.
+//
+// The block count is rounded to the nearest whole block rather than
+// truncated: flooring silently shrank the device by up to one block per
+// chip whenever the capacity did not divide evenly, so the paper's
+// 8 KB-vs-16 KB comparison could run on a slightly smaller device than
+// the 16 KB baseline.
 func (c Config) WithPageSize(pageSize int) Config {
-	total := c.TotalBytes()
+	perChip := c.TotalBytes() / uint64(c.Chips)
 	c.PageSize = pageSize
-	c.BlocksPerChip = int(total / uint64(c.Chips) / uint64(pageSize*c.PagesPerBlock))
+	blockBytes := uint64(pageSize * c.PagesPerBlock)
+	c.BlocksPerChip = int((perChip + blockBytes/2) / blockBytes)
 	if c.BlocksPerChip < 1 {
 		c.BlocksPerChip = 1
 	}
+	return c
+}
+
+// WithChips returns a copy of the config spread over n chips while keeping
+// total device capacity as close to constant as the geometry allows: the
+// total block count is rounded to the nearest multiple of n and divided
+// evenly, and n is capped at the block count (one block per chip) so a
+// huge n can never inflate the device. Callers comparing makespans across
+// chip counts should start from a block count divisible by every sweep
+// point (see ChipSweep) so capacity is exactly equal; otherwise the
+// rounding drift is at most n/2 blocks.
+func (c Config) WithChips(n int) Config {
+	if n < 1 {
+		n = 1
+	}
+	total := c.TotalBlocks()
+	if n > total {
+		n = total
+	}
+	perChip := (total + n/2) / n
+	if perChip < 1 {
+		perChip = 1
+	}
+	c.Chips = n
+	c.BlocksPerChip = perChip
 	return c
 }
 

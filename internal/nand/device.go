@@ -73,6 +73,27 @@ type DeviceStats struct {
 
 // Device is a simulated 3D charge-trap NAND device. It is not safe for
 // concurrent use; simulations drive it from a single goroutine.
+//
+// # Chip-parallel service time
+//
+// Besides the per-operation cost (the intrinsic device time every op has
+// always returned), the device keeps a service-time model: each chip has
+// a "next free" clock, and every operation is scheduled on its chip at
+// max(Now, chip free time), occupying the chip for the op's cost. Ops
+// issued against different chips between two AdvanceTo calls therefore
+// overlap in simulated time, while ops on one chip queue behind each
+// other. The harness advances Now to the completion of each host request
+// (a closed queue-depth-1 host), so a request's completion latency is
+// Makespan()-Now at issue — the time the last chip touched so far drains
+// — and the simulated makespan is the maximum chip free time. Cost
+// accounting (DeviceStats, returned costs) is completely
+// independent of the scheduling model, and with Chips=1 the makespan
+// degenerates to the serial sum of all costs.
+//
+// The model is service-time, not event-driven: dependencies between ops
+// of one burst (e.g. a GC copy's program on chip B after its read on
+// chip A) are not chained — both queue at issue time on their own chips.
+// This keeps replay single-pass and deterministic.
 type Device struct {
 	cfg     Config
 	blocks  []blockState
@@ -85,6 +106,13 @@ type Device struct {
 	// per access.
 	readCost []time.Duration
 	progCost []time.Duration
+
+	// Service-time clocks (see the type comment). now is the host issue
+	// time of the next operation; chipFree[c] is when chip c finishes its
+	// queued work; lastFinish is the completion time of the most recent op.
+	now        time.Duration
+	chipFree   []time.Duration
+	lastFinish time.Duration
 }
 
 // NewDevice builds a device from a validated config.
@@ -103,6 +131,7 @@ func NewDevice(cfg Config) (*Device, error) {
 		d.readCost[p] = cfg.ReadCost(p)
 		d.progCost[p] = cfg.ProgramCost(p)
 	}
+	d.chipFree = make([]time.Duration, cfg.Chips)
 	return d, nil
 }
 
@@ -121,6 +150,67 @@ func (d *Device) Config() Config { return d.cfg }
 
 // Stats returns a snapshot pointer of the device activity counters.
 func (d *Device) Stats() *DeviceStats { return &d.stats }
+
+// schedule books cost on the chip owning block b: the op starts when both
+// the host has issued it (now) and the chip is free, and occupies the chip
+// until its finish time. Returns the completion time.
+func (d *Device) schedule(b BlockID, cost time.Duration) time.Duration {
+	chip := int(b) / d.cfg.BlocksPerChip
+	start := d.now
+	if free := d.chipFree[chip]; free > start {
+		start = free
+	}
+	fin := start + cost
+	d.chipFree[chip] = fin
+	d.lastFinish = fin
+	return fin
+}
+
+// Now returns the host issue clock of the service-time model.
+func (d *Device) Now() time.Duration { return d.now }
+
+// AdvanceTo moves the host issue clock forward to t (never backward).
+// The harness calls it at request completion so the next request issues
+// when the previous one finished (closed-loop, queue depth 1).
+func (d *Device) AdvanceTo(t time.Duration) {
+	if t > d.now {
+		d.now = t
+	}
+}
+
+// LastFinish returns the completion time of the most recently scheduled
+// operation. It is not monotonic across chips: an op on an idle chip can
+// finish before earlier ops queued on a busy one, so request-completion
+// latency must come from Makespan(), not from this probe.
+func (d *Device) LastFinish() time.Duration { return d.lastFinish }
+
+// Makespan returns the simulated time at which every chip has drained its
+// queued work — the end-to-end service time of everything issued so far.
+// With Chips=1 this is exactly the serial sum of all operation costs.
+func (d *Device) Makespan() time.Duration {
+	var max time.Duration
+	for _, f := range d.chipFree {
+		if f > max {
+			max = f
+		}
+	}
+	return max
+}
+
+// ChipFree returns the next-free clock of one chip (diagnostics).
+func (d *Device) ChipFree(chip int) time.Duration { return d.chipFree[chip] }
+
+// ResetClocks zeroes the service-time model (issue clock, per-chip free
+// clocks, last finish) without touching device contents or cost counters.
+// The harness resets after prefill so makespan and latency percentiles
+// measure the trace, not the prefill.
+func (d *Device) ResetClocks() {
+	d.now = 0
+	d.lastFinish = 0
+	for i := range d.chipFree {
+		d.chipFree[i] = 0
+	}
+}
 
 func (d *Device) block(b BlockID) (*blockState, error) {
 	if int(b) >= len(d.blocks) {
@@ -154,6 +244,7 @@ func (d *Device) Read(p PPN) (OOB, time.Duration, error) {
 		return OOB{}, 0, fmt.Errorf("%w: %v", ErrReadFree, d.cfg.AddressOf(p))
 	}
 	cost := d.readCost[page]
+	d.schedule(b, cost)
 	d.stats.Reads.Inc()
 	d.stats.ReadTime.Observe(cost)
 	return blk.oob[page], cost, nil
@@ -183,6 +274,7 @@ func (d *Device) Program(p PPN, oob OOB) (time.Duration, error) {
 	d.progSeq++
 	blk.lastProg = d.progSeq
 	cost := d.progCost[page]
+	d.schedule(b, cost)
 	d.stats.Programs.Inc()
 	d.stats.ProgTime.Observe(cost)
 	return cost, nil
@@ -217,7 +309,7 @@ func (d *Device) Erase(b BlockID) (time.Duration, error) {
 	if blk.validPages != 0 {
 		return 0, fmt.Errorf("nand: erasing block %d with %d valid pages", b, blk.validPages)
 	}
-	return d.eraseBlock(blk), nil
+	return d.eraseBlock(b, blk), nil
 }
 
 // EraseForce erases the block regardless of valid data; used by tests and
@@ -227,10 +319,10 @@ func (d *Device) EraseForce(b BlockID) (time.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
-	return d.eraseBlock(blk), nil
+	return d.eraseBlock(b, blk), nil
 }
 
-func (d *Device) eraseBlock(blk *blockState) time.Duration {
+func (d *Device) eraseBlock(b BlockID, blk *blockState) time.Duration {
 	for i := range blk.states {
 		blk.states[i] = PageFree
 		blk.oob[i] = OOB{}
@@ -239,6 +331,7 @@ func (d *Device) eraseBlock(blk *blockState) time.Duration {
 	blk.validPages = 0
 	blk.invalid = 0
 	blk.eraseCount++
+	d.schedule(b, d.cfg.EraseLatency)
 	d.stats.Erases.Inc()
 	d.stats.EraseTime.Observe(d.cfg.EraseLatency)
 	return d.cfg.EraseLatency

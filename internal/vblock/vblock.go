@@ -15,7 +15,12 @@
 //     (Figure 9's lifecycle: Free -> VB 2n allocated -> VB 2n filled ->
 //     VB 2n+1 allocatable -> block full -> waiting for GC).
 //   - Free blocks are handed out lowest-numbered first ("arranged
-//     according to their original physical block number").
+//     according to their original physical block number") within a chip;
+//     on multi-chip devices consecutive allocations rotate round-robin
+//     across the chips, so consecutive host write streams stripe over the
+//     channels and the device's chip-parallel service model can overlap
+//     them. With Chips=1 the rotation degenerates to the original
+//     lowest-numbered-first order.
 package vblock
 
 import (
@@ -92,9 +97,15 @@ type Manager struct {
 	k        int
 	partLen  int
 	blocks   []blockInfo
-	free     blockHeap
 	pendingQ [][]nand.BlockID // FIFO of blocks whose next part is allocatable, per pool
 	fullCnt  int
+
+	// Free pool, striped by chip: one lowest-first heap per chip plus a
+	// round-robin cursor, so consecutive allocations rotate across chips
+	// (channel striping). freeCnt caches the total across heaps.
+	free     []blockHeap
+	nextChip int
+	freeCnt  int
 
 	buckets []int32 // victim index: bucket heads by invalid count
 	maxInv  int     // upper bound on the highest occupied bucket
@@ -128,12 +139,26 @@ func NewManager(cfg nand.Config, k, pools int) (*Manager, error) {
 	for i := range m.buckets {
 		m.buckets[i] = nilBlock
 	}
-	// A sorted slice is already a valid min-heap.
-	m.free = make(blockHeap, cfg.TotalBlocks())
-	for i := range m.free {
-		m.free[i] = int32(i)
+	// One free heap per chip; a sorted slice is already a valid min-heap.
+	m.free = make([]blockHeap, cfg.Chips)
+	for chip := range m.free {
+		heap := make(blockHeap, cfg.BlocksPerChip)
+		for i := range heap {
+			heap[i] = int32(chip*cfg.BlocksPerChip + i)
+		}
+		m.free[chip] = heap
 	}
+	m.freeCnt = cfg.TotalBlocks()
 	return m, nil
+}
+
+// chipOf returns the chip owning a flat block id.
+func (m *Manager) chipOf(b nand.BlockID) int { return int(b) / m.cfg.BlocksPerChip }
+
+// freePush returns a block to its chip's free heap.
+func (m *Manager) freePush(b nand.BlockID) {
+	m.free[m.chipOf(b)].push(int32(b))
+	m.freeCnt++
 }
 
 // K returns the split factor.
@@ -162,8 +187,11 @@ func (m *Manager) vb(b nand.BlockID, part int) VB {
 	return VB{Block: b, Part: part, Start: s, End: e}
 }
 
-// FreeBlocks returns how many blocks are in the free pool.
-func (m *Manager) FreeBlocks() int { return m.free.Len() }
+// FreeBlocks returns how many blocks are in the free pool (all chips).
+func (m *Manager) FreeBlocks() int { return m.freeCnt }
+
+// FreeBlocksOnChip returns how many free blocks the chip holds.
+func (m *Manager) FreeBlocksOnChip(chip int) int { return m.free[chip].Len() }
 
 // FullBlocks returns how many blocks are completely programmed and
 // waiting for GC.
@@ -210,16 +238,25 @@ func (m *Manager) Cursor(b nand.BlockID) int { return m.blocks[b].cursor }
 // IsFull reports whether the block is fully programmed.
 func (m *Manager) IsFull(b nand.BlockID) bool { return m.blocks[b].phase == phaseFull }
 
-// AllocateFirst takes the lowest-numbered free block, assigns it to the
-// pool and returns its slow part 0 VB.
+// AllocateFirst takes a free block, assigns it to the pool and returns
+// its slow part 0 VB. Consecutive allocations rotate across chips
+// (channel striping); within a chip the lowest-numbered free block is
+// handed out first. With a single chip this is exactly the original
+// lowest-numbered-first order.
 func (m *Manager) AllocateFirst(pool int) (VB, error) {
 	if err := m.checkPool(pool); err != nil {
 		return VB{}, err
 	}
-	if m.free.Len() == 0 {
+	if m.freeCnt == 0 {
 		return VB{}, ErrNoFreeBlocks
 	}
-	b := nand.BlockID(m.free.pop())
+	chip := m.nextChip
+	for m.free[chip].Len() == 0 {
+		chip = (chip + 1) % len(m.free)
+	}
+	m.nextChip = (chip + 1) % len(m.free)
+	b := nand.BlockID(m.free[chip].pop())
+	m.freeCnt--
 	bi := &m.blocks[b]
 	*bi = blockInfo{phase: phaseOwned, pool: pool, allocated: 1, cursor: 0}
 	return m.vb(b, 0), nil
@@ -323,7 +360,7 @@ func (m *Manager) Release(b nand.BlockID) error {
 	m.fullCnt--
 	m.idxRemove(b)
 	*bi = blockInfo{}
-	m.free.push(int32(b))
+	m.freePush(b)
 	return nil
 }
 
@@ -348,7 +385,7 @@ func (m *Manager) ReleaseForce(b nand.BlockID) error {
 	}
 	m.idxRemove(b)
 	*bi = blockInfo{}
-	m.free.push(int32(b))
+	m.freePush(b)
 	return nil
 }
 
@@ -520,6 +557,21 @@ func (m *Manager) CheckInvariants() error {
 	}
 	if full != m.fullCnt {
 		return fmt.Errorf("vblock: full count %d, cached %d", full, m.fullCnt)
+	}
+	freeSum := 0
+	for chip, heap := range m.free {
+		freeSum += heap.Len()
+		for _, b := range heap {
+			if got := m.chipOf(nand.BlockID(b)); got != chip {
+				return fmt.Errorf("vblock: block %d in chip %d free heap, belongs to chip %d", b, chip, got)
+			}
+			if m.blocks[b].phase != phaseFree {
+				return fmt.Errorf("vblock: non-free block %d in free heap", b)
+			}
+		}
+	}
+	if freeSum != m.freeCnt {
+		return fmt.Errorf("vblock: free heaps hold %d blocks, cached %d", freeSum, m.freeCnt)
 	}
 	// Victim index: every bucket's nodes must carry that bucket's invalid
 	// count, links must be symmetric, each indexed block appears once, and

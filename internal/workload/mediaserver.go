@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"math/rand"
 
 	"ppbflash/internal/trace"
@@ -89,20 +90,52 @@ type MediaServer struct {
 	ingestActive bool
 }
 
-// NewMediaServer builds the generator.
+// NewMediaServer builds the generator. It panics (like the zipf helpers)
+// when the logical space cannot hold a metadata page plus one 4 KiB chunk
+// per file: a silent wrap would corrupt offsets.
 func NewMediaServer(cfg MediaConfig) *MediaServer {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	m := &MediaServer{cfg: cfg, rng: rng}
+	if cfg.LogicalBytes < 2*uint64(cfg.FileCount)*4096 {
+		panic(fmt.Sprintf("workload: mediaserver logical space %d below %d files x 4K plus metadata",
+			cfg.LogicalBytes, cfg.FileCount))
+	}
+	minFiles := uint64(cfg.FileCount) * 4096
 	m.metaBytes = alignDown(uint64(float64(cfg.LogicalBytes)*cfg.MetaFraction), 4096)
+	// A fraction that cannot leave one 4 KiB chunk per file is a
+	// misconfiguration, not a tiny-space artifact: fail loudly like the
+	// size check above.
+	if m.metaBytes > cfg.LogicalBytes-minFiles {
+		panic(fmt.Sprintf("workload: mediaserver meta fraction %g leaves no file region in %d bytes",
+			cfg.MetaFraction, cfg.LogicalBytes))
+	}
 	if m.metaBytes < 1<<20 {
 		m.metaBytes = 1 << 20
+	}
+	// The 1 MiB floor can swallow a tiny logical space whole, making the
+	// file-region subtraction below wrap around uint64. Only when the
+	// floor left the file region without one 4 KiB chunk per file, shrink
+	// the metadata region to whatever leaves exactly that minimum;
+	// feasible user-configured fractions are honored as-is.
+	if m.metaBytes > cfg.LogicalBytes-minFiles {
+		m.metaBytes = alignDown(cfg.LogicalBytes-minFiles, 4096)
+		if m.metaBytes < 4096 {
+			m.metaBytes = 4096
+		}
 	}
 	m.fileBase = m.metaBytes
 	fileRegion := cfg.LogicalBytes - m.fileBase
 	m.fileSize = alignDown(fileRegion/uint64(cfg.FileCount), uint64(cfg.ChunkBytes))
 	if m.fileSize == 0 {
-		m.fileSize = uint64(cfg.ChunkBytes)
+		// Files smaller than the streaming chunk (tiny logical space):
+		// shrink the chunk to the 4 KiB-aligned per-file share instead of
+		// letting fileSize overrun the region by rounding up.
+		m.fileSize = alignDown(fileRegion/uint64(cfg.FileCount), 4096)
+		if m.fileSize < 4096 {
+			m.fileSize = 4096
+		}
+		m.cfg.ChunkBytes = int(m.fileSize)
 	}
 	m.filePop = newZipf(rng, cfg.ZipfS, uint64(cfg.FileCount))
 	m.metaSlot = m.metaBytes / 4096

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"math/rand"
 
 	"ppbflash/internal/trace"
@@ -82,19 +83,44 @@ type WebSQL struct {
 	scanChunks int
 }
 
-// NewWebSQL builds the generator.
+// NewWebSQL builds the generator. It panics (like the zipf helpers) when
+// the logical space cannot hold even one page per region: generators are
+// built from validated configs, and a silent wrap would corrupt offsets.
 func NewWebSQL(cfg WebSQLConfig) *WebSQL {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	w := &WebSQL{cfg: cfg, rng: rng}
 	page := uint64(cfg.DBPageBytes)
+	if cfg.LogicalBytes < 4*page {
+		panic(fmt.Sprintf("workload: websql logical space %d below 4 DB pages (%d)",
+			cfg.LogicalBytes, 4*page))
+	}
 	w.metaBytes = alignDown(uint64(float64(cfg.LogicalBytes)*cfg.MetaFraction), page)
+	logBytes := alignDown(uint64(float64(cfg.LogicalBytes)*cfg.LogFraction), page)
+	// Fractions that cannot leave one table page are a misconfiguration,
+	// not a tiny-space artifact: fail loudly like the size check above.
+	if w.metaBytes+logBytes > cfg.LogicalBytes-page {
+		panic(fmt.Sprintf("workload: websql meta+log fractions (%g+%g) leave no table region in %d bytes",
+			cfg.MetaFraction, cfg.LogFraction, cfg.LogicalBytes))
+	}
 	if w.metaBytes < page*16 {
 		w.metaBytes = page * 16
 	}
-	logBytes := alignDown(uint64(float64(cfg.LogicalBytes)*cfg.LogFraction), page)
 	if logBytes < page*16 {
 		logBytes = page * 16
+	}
+	// The 16-page floors above can exceed a tiny logical space entirely,
+	// leaving dataBase past LogicalBytes and wrapping dataPages around
+	// uint64. Only when the floors made the layout impossible — less than
+	// one table page would remain — shrink both regions to an eighth of
+	// the space; any feasible user-configured fraction split is honored
+	// as-is.
+	if w.metaBytes+logBytes > cfg.LogicalBytes-page {
+		shrunk := alignDown(cfg.LogicalBytes/8, page)
+		if shrunk < page {
+			shrunk = page
+		}
+		w.metaBytes, logBytes = shrunk, shrunk
 	}
 	w.logBase = w.metaBytes
 	w.dataBase = w.logBase + logBytes
@@ -138,6 +164,11 @@ func (w *WebSQL) nextRead() trace.Request {
 		// are deliberately rare — they read uniformly and would dilute
 		// the re-access skew that characterizes web/SQL traces.
 		const chunk = 64 << 10
+		if w.cfg.LogicalBytes-w.dataBase <= chunk {
+			// Table region too small to host a scan (tiny logical space):
+			// fall back to a skewed page read rather than wrapping offsets.
+			return trace.Request{Op: trace.OpRead, Offset: w.dataBase + w.dataPop.draw()*page, Size: uint32(page)}
+		}
 		if w.scanChunks == 0 {
 			w.scanChunks = 4 + w.rng.Intn(5)
 			maxStart := w.cfg.LogicalBytes - w.dataBase - chunk

@@ -166,6 +166,12 @@ type (
 	FTLKind = harness.FTLKind
 	// Table renders aligned experiment tables.
 	Table = metrics.Table
+	// Histogram is a fixed-bucket latency histogram with nearest-rank
+	// quantiles (P50/P95/P99 in RunResult come from these).
+	Histogram = metrics.Histogram
+	// ReplayMetrics accumulates per-request completion latency during a
+	// measured replay (see ReplayMeasured).
+	ReplayMetrics = harness.ReplayMetrics
 )
 
 // Strategy kinds for RunSpec.
@@ -206,8 +212,19 @@ func RunPageOps(f FTL, n int) error { return harness.RunPageOps(f, n) }
 // Replay feeds a generator through an FTL, splitting requests into pages.
 func Replay(f FTL, gen Generator) error { return harness.Replay(f, gen) }
 
+// ReplayMeasured is Replay recording per-request completion latency under
+// the device's chip-parallel service model into m (build m with
+// NewReplayMetrics; nil skips measurement).
+func ReplayMeasured(f FTL, gen Generator, m *ReplayMetrics) error {
+	return harness.ReplayMeasured(f, gen, m)
+}
+
+// NewReplayMetrics builds request-latency histograms for ReplayMeasured.
+func NewReplayMetrics() *ReplayMetrics { return harness.NewReplayMetrics() }
+
 // Experiment runs one of the paper's experiments by ID ("12".."18" for
-// figures, "3" for the motivation study, "a1".."a3" for ablations).
+// figures, "3" for the motivation study, "a1".."a4" for ablations and
+// the chip-parallel sweep).
 func Experiment(id string, s Scale) (*FigureResult, error) {
 	fn, ok := harness.Experiments[id]
 	if !ok {
@@ -231,5 +248,5 @@ type unknownExperimentError string
 func errUnknownExperiment(id string) error { return unknownExperimentError(id) }
 
 func (e unknownExperimentError) Error() string {
-	return "ppbflash: unknown experiment " + string(e) + " (want one of 3, 12-18, a1-a3)"
+	return "ppbflash: unknown experiment " + string(e) + " (want one of 3, 12-18, a1-a4)"
 }
