@@ -6,6 +6,7 @@ import (
 	"ppbflash/internal/core"
 	"ppbflash/internal/hotness"
 	"ppbflash/internal/metrics"
+	"ppbflash/internal/nand"
 )
 
 // FigureResult bundles a rendered table with the raw numeric series so
@@ -343,6 +344,17 @@ func AblationLayers(s Scale) (*FigureResult, error) {
 // ChipSweepCounts is the chip axis of experiment a4.
 var ChipSweepCounts = []int{1, 2, 4, 8}
 
+// trimToChipMultiple trims the block count down to a multiple of chips so
+// WithChips divides evenly and every point of a chip-spread sweep exports
+// exactly the same capacity; never trims below one block per chip.
+func trimToChipMultiple(cfg nand.Config, chips int) nand.Config {
+	cfg.BlocksPerChip -= cfg.BlocksPerChip % chips
+	if cfg.BlocksPerChip < chips {
+		cfg.BlocksPerChip = chips
+	}
+	return cfg
+}
+
 // ChipSweep (experiment a4) measures what the paper-scale figures cannot
 // express on a single serial chip: per-request tail latency and simulated
 // makespan as the same device capacity is spread over 1, 2, 4 and 8 chips
@@ -354,15 +366,9 @@ func ChipSweep(s Scale) (*FigureResult, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	base := s.DeviceConfig(16<<10, 2.0)
-	// Trim the block count to a multiple of every sweep point so all
-	// points export exactly the same capacity (WithChips divides evenly);
-	// never trim below one block per chip at the widest point.
-	maxChips := ChipSweepCounts[len(ChipSweepCounts)-1]
-	base.BlocksPerChip -= base.BlocksPerChip % maxChips
-	if base.BlocksPerChip < maxChips {
-		base.BlocksPerChip = maxChips
-	}
+	// Trim to a multiple of the widest sweep point so all points export
+	// the same capacity.
+	base := trimToChipMultiple(s.DeviceConfig(16<<10, 2.0), ChipSweepCounts[len(ChipSweepCounts)-1])
 	specs := make([]RunSpec, 0, len(paperTraces)*len(ChipSweepCounts)*2)
 	for _, tr := range paperTraces {
 		wl, err := s.workloadByName(tr)
@@ -401,6 +407,64 @@ func ChipSweep(s Scale) (*FigureResult, error) {
 	return fig, nil
 }
 
+// QDSweepDepths is the queue-depth axis of experiment a5.
+var QDSweepDepths = []int{1, 4, 16, 64}
+
+// qdSweepChips is the chip count experiment a5 runs on: queue depth only
+// buys overlap when independent requests can land on different chips, so
+// the sweep uses a mid-size multi-chip device (the a4 sweet spot).
+const qdSweepChips = 4
+
+// QDSweep (experiment a5) measures the queue-depth axis the closed
+// QD-1 host could never exercise: the same 4-chip device, both traces,
+// conventional vs PPB, with the host keeping 1, 4, 16 and 64 requests
+// outstanding. Makespan falls as the depth grows (more chip overlap)
+// while per-request completion latency and the newly split-out queueing
+// delay grow — tail latency finally responds to load, not just to GC
+// interference.
+func QDSweep(s Scale) (*FigureResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	dev := trimToChipMultiple(s.DeviceConfig(16<<10, 2.0), qdSweepChips).WithChips(qdSweepChips)
+	specs := make([]RunSpec, 0, len(paperTraces)*len(QDSweepDepths)*2)
+	for _, tr := range paperTraces {
+		wl, err := s.workloadByName(tr)
+		if err != nil {
+			return nil, err
+		}
+		for _, qd := range QDSweepDepths {
+			p := pairSpecs(fmt.Sprintf("qd-sweep/%s/qd%d", tr, qd), s, 16<<10, 2.0, wl)
+			p[0].Device, p[1].Device = dev, dev
+			p[0].QueueDepth, p[1].QueueDepth = qd, qd
+			specs = append(specs, p[0], p[1])
+		}
+	}
+	results, err := RunAll(specs, s.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	tbl := metrics.NewTable("Experiment a5: queue-depth sweep on 4 chips (ratio 2x)",
+		"trace", "QD", "conv makespan (s)", "ppb makespan (s)", "ppb read p99", "ppb write p99", "conv qdelay p99", "ppb qdelay p99")
+	fig := newFigure("a5-qd-sweep", tbl)
+	i := 0
+	for _, tr := range paperTraces {
+		for _, qd := range QDSweepDepths {
+			conv, ppb := results[i], results[i+1]
+			i += 2
+			fig.add(tr+"/makespan/conv", conv.Makespan.Seconds())
+			fig.add(tr+"/makespan/ppb", ppb.Makespan.Seconds())
+			fig.add(tr+"/readp99/ppb", ppb.ReadP99.Seconds())
+			fig.add(tr+"/writep99/ppb", ppb.WriteP99.Seconds())
+			fig.add(tr+"/qdelayp99/conv", conv.QueueDelayP99.Seconds())
+			fig.add(tr+"/qdelayp99/ppb", ppb.QueueDelayP99.Seconds())
+			tbl.AddRow(tr, qd, conv.Makespan.Seconds(), ppb.Makespan.Seconds(),
+				ppb.ReadP99, ppb.WriteP99, conv.QueueDelayP99, ppb.QueueDelayP99)
+		}
+	}
+	return fig, nil
+}
+
 // TableOne renders the experimental parameters (the paper's Table 1).
 func TableOne() *FigureResult {
 	cfg := Scale{DeviceDivisor: 1, WriteTurnover: 1}.DeviceConfig(16<<10, 2.0)
@@ -432,7 +496,8 @@ var Experiments = map[string]func(Scale) (*FigureResult, error){
 	"a2": AblationIdentifier,
 	"a3": AblationLayers,
 	"a4": ChipSweep,
+	"a5": QDSweep,
 }
 
 // ExperimentOrder is the presentation order for "run everything".
-var ExperimentOrder = []string{"12", "13", "14", "15", "16", "17", "18", "3", "a1", "a2", "a3", "a4"}
+var ExperimentOrder = []string{"12", "13", "14", "15", "16", "17", "18", "3", "a1", "a2", "a3", "a4", "a5"}

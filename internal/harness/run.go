@@ -51,6 +51,15 @@ type RunSpec struct {
 	// before replaying, so reads of not-yet-written addresses hit real
 	// pages; prefill cost is excluded from the measured stats.
 	Prefill bool
+	// QueueDepth is the host queue depth: how many requests may be
+	// outstanding at once during the measured replay. 0 and 1 both mean
+	// the classic closed loop at queue depth 1.
+	QueueDepth int
+	// OpenLoop switches the host model from closed-loop to open-loop:
+	// requests are issued at their trace arrival times (Request.Time)
+	// and latency is measured from arrival, so queueing delay captures
+	// any backlog. QueueDepth still caps the outstanding requests.
+	OpenLoop bool
 }
 
 // Result carries the measurements of one run.
@@ -69,10 +78,11 @@ type Result struct {
 	FastReadShare float64 // fraction of host reads served from fast halves
 
 	// Per-request completion latency percentiles under the device's
-	// chip-parallel service model (closed loop, queue depth 1): the time
-	// from a request's issue to the completion of its last page operation,
-	// including any garbage-collection work the request triggered.
-	// Percentiles are nearest-rank upper bounds from
+	// chip-parallel service model and the run's host queueing model
+	// (RunSpec.QueueDepth/OpenLoop): the time from a request's issue —
+	// its arrival in open-loop mode — to the completion of its last page
+	// operation, including any garbage-collection work the request
+	// triggered. Percentiles are nearest-rank upper bounds from
 	// metrics.DefaultLatencyHistogram.
 	ReadP50  time.Duration
 	ReadP95  time.Duration
@@ -80,11 +90,27 @@ type Result struct {
 	WriteP50 time.Duration
 	WriteP95 time.Duration
 	WriteP99 time.Duration
+	// QueueDelay percentiles split the queueing component out of the
+	// completion latencies above: the time between a request's issue (or
+	// open-loop arrival) and the device starting its first operation.
+	// In the closed loop this is exactly zero at queue depth 1 and grows
+	// with the depth as outstanding requests contend for the chips; in
+	// open-loop mode it is nonzero at any depth whenever a request
+	// arrives while the device is still busy.
+	QueueDelayP50 time.Duration
+	QueueDelayP95 time.Duration
+	QueueDelayP99 time.Duration
 	// Makespan is the simulated end-to-end service time of the measured
 	// trace: the time at which the last chip drained its queue. With
 	// Chips=1 it equals the serial sum of every operation cost; with more
 	// chips, overlapped operations shrink it.
 	Makespan time.Duration
+
+	// Skipped marks a run that RunAll never finished because an earlier
+	// spec in the same batch failed (fail-fast). All measurement fields of
+	// a skipped row are zero; tabulating code must drop such rows instead
+	// of rendering phantom all-zero series.
+	Skipped bool
 
 	// PPB-only counters (zero otherwise).
 	Migrations uint64
@@ -141,7 +167,8 @@ func Run(spec RunSpec) (Result, error) {
 	// and prefill on a tight logical space runs real garbage collection.
 	eraseBase := dev.TotalErases()
 	rm := NewReplayMetrics()
-	if err := ReplayMeasured(f, gen, rm); err != nil {
+	opts := ReplayOptions{QueueDepth: spec.QueueDepth, OpenLoop: spec.OpenLoop}
+	if err := ReplayQueued(f, gen, rm, opts); err != nil {
 		return Result{}, fmt.Errorf("harness: %s: %w", spec.Name, err)
 	}
 	return collect(spec, f, eraseBase, rm), nil
@@ -153,7 +180,10 @@ func Run(spec RunSpec) (Result, error) {
 // sequential Run of the same spec — parallelism only changes wall-clock
 // time, never the measurements. parallelism <= 0 means GOMAXPROCS. On
 // error the first failure (in worker completion order) is returned along
-// with the results of the runs that did succeed.
+// with the results of the runs that did succeed; every run that was
+// skipped by the resulting fail-fast (or failed itself) is marked with
+// Result.Skipped so callers tabulating the partial slice can tell real
+// measurements from never-run placeholders.
 func RunAll(specs []RunSpec, parallelism int) ([]Result, error) {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
@@ -161,7 +191,13 @@ func RunAll(specs []RunSpec, parallelism int) ([]Result, error) {
 	if parallelism > len(specs) {
 		parallelism = len(specs)
 	}
+	// Every slot starts as a skipped placeholder; a completed run
+	// overwrites its own slot, so whatever the fail-fast left unrun is
+	// already marked without extra bookkeeping.
 	results := make([]Result, len(specs))
+	for i, spec := range specs {
+		results[i] = Result{Name: spec.Name, Kind: spec.Kind, Skipped: true}
+	}
 	if parallelism <= 1 {
 		for i, spec := range specs {
 			res, err := Run(spec)
@@ -263,45 +299,161 @@ func prefill(f ftl.FTL) error {
 
 // ReplayMetrics accumulates per-request completion latencies during a
 // measured replay. Request latency is measured under the device's
-// chip-parallel service model: a request issues when the previous request
-// completed (closed loop, queue depth 1), its page operations queue on
-// their chips, and its latency is the finish time of its last operation
-// minus its issue time — garbage-collection work a write triggers is
-// charged to that write's latency, which is exactly the tail a host sees.
+// chip-parallel service model and the host queueing model of
+// ReplayOptions: a request issues when the host model dispatches it, its
+// page operations queue on their chips, and its latency is the finish
+// time of its last operation minus its issue time (its arrival, in
+// open-loop mode) — garbage-collection work a write triggers is charged
+// to that write's latency, which is exactly the tail a host sees.
+// QueueDelay splits out the waiting component: the time between issue
+// and the device starting the request's first operation.
 type ReplayMetrics struct {
 	ReadLatency  *metrics.Histogram
 	WriteLatency *metrics.Histogram
+	QueueDelay   *metrics.Histogram // nil skips queue-delay recording
 }
 
 // NewReplayMetrics builds latency histograms with the default request
-// bounds (metrics.DefaultLatencyHistogram).
+// bounds (metrics.DefaultLatencyHistogram, metrics.DefaultQueueDelayHistogram).
 func NewReplayMetrics() *ReplayMetrics {
 	return &ReplayMetrics{
 		ReadLatency:  metrics.DefaultLatencyHistogram(),
 		WriteLatency: metrics.DefaultLatencyHistogram(),
+		QueueDelay:   metrics.DefaultQueueDelayHistogram(),
 	}
+}
+
+// observe folds one completed request into the histograms.
+func (m *ReplayMetrics) observe(op trace.Op, latency, delay time.Duration) {
+	if op == trace.OpWrite {
+		m.WriteLatency.Observe(latency)
+	} else {
+		m.ReadLatency.Observe(latency)
+	}
+	if m.QueueDelay != nil {
+		m.QueueDelay.Observe(delay)
+	}
+}
+
+// ReplayOptions selects the host queueing model of a measured replay.
+type ReplayOptions struct {
+	// QueueDepth caps the outstanding requests (0 and 1 both mean the
+	// classic closed loop at queue depth 1).
+	QueueDepth int
+	// OpenLoop issues requests at their trace arrival times instead of
+	// generating the next request when a queue slot frees.
+	OpenLoop bool
 }
 
 // Replay feeds every request of the generator through the FTL,
 // splitting byte ranges into page operations. Latency is not recorded;
-// use ReplayMeasured for per-request percentiles.
+// use ReplayMeasured or ReplayQueued for per-request percentiles.
 func Replay(f ftl.FTL, gen workload.Generator) error {
-	return ReplayMeasured(f, gen, nil)
+	return ReplayQueued(f, gen, nil, ReplayOptions{})
 }
 
 // ReplayMeasured is Replay recording per-request completion latency into
-// m (nil m skips measurement and leaves the device issue clock alone).
+// m under the classic closed loop at queue depth 1 (nil m skips
+// measurement and leaves the device issue clock alone).
 func ReplayMeasured(f ftl.FTL, gen workload.Generator, m *ReplayMetrics) error {
-	pageSize := f.Device().Config().PageSize
+	return ReplayQueued(f, gen, m, ReplayOptions{})
+}
+
+// ReplayQueued replays the generator under a host queueing model: an
+// issue/completion event loop over the device's per-chip clocks.
+//
+// Closed loop (the default): up to QueueDepth requests are outstanding at
+// once. When all slots are full the host blocks until the earliest
+// outstanding completion, advances the issue clock there, and issues the
+// next request — at depth 1 this degenerates to exactly the classic
+// measured replay (each request issues at the previous one's completion),
+// so results are bit-identical to the pre-queueing harness.
+//
+// Open loop: requests are issued at their trace.Request.Time arrivals
+// (clamped to be monotone) and latency is measured from arrival, so the
+// recorded queueing delay grows with any backlog the device accumulates.
+// QueueDepth still caps the outstanding requests; a request that arrives
+// with all slots full waits — in queueing delay — for a completion.
+//
+// Requests that schedule no device operation (reads of never-written
+// LPNs) complete instantly, occupy no slot and record no sample:
+// observing their 0 would drag the read percentiles toward zero on
+// non-prefilled replays.
+//
+// nil m skips measurement and the host model entirely (plain Replay).
+func ReplayQueued(f ftl.FTL, gen workload.Generator, m *ReplayMetrics, opts ReplayOptions) error {
+	dev := f.Device()
+	pageSize := dev.Config().PageSize
+	if m == nil {
+		for {
+			r, ok := gen.Next()
+			if !ok {
+				return nil
+			}
+			if err := issueRequest(f, r, pageSize); err != nil {
+				return err
+			}
+		}
+	}
+	qd := opts.QueueDepth
+	if qd < 1 {
+		qd = 1
+	}
+	var (
+		pending     completionQueue // outstanding request completions
+		lastArrival time.Duration   // monotone clamp of open-loop arrivals
+	)
 	for {
 		r, ok := gen.Next()
 		if !ok {
-			return nil
+			break
 		}
-		if err := replayRequest(f, r, pageSize, m); err != nil {
+		var issue time.Duration
+		if opts.OpenLoop {
+			// The request arrives at its trace time; completions up to
+			// that moment have freed their slots. If the queue is still
+			// full, the request waits for the earliest completion — that
+			// wait lands in its queueing delay because latency is
+			// measured from arrival either way.
+			arrival := r.Time
+			if arrival < lastArrival {
+				arrival = lastArrival
+			}
+			lastArrival = arrival
+			for pending.Len() > 0 && pending.Min() <= arrival {
+				pending.PopMin()
+			}
+			dispatch := arrival
+			for pending.Len() >= qd {
+				if c := pending.PopMin(); c > dispatch {
+					dispatch = c
+				}
+			}
+			dev.AdvanceTo(dispatch)
+			issue = arrival
+		} else {
+			for pending.Len() >= qd {
+				dev.AdvanceTo(pending.PopMin())
+			}
+			issue = dev.Now()
+		}
+		dev.BeginBurst()
+		if err := issueRequest(f, r, pageSize); err != nil {
 			return err
 		}
+		if dev.BurstOps() == 0 {
+			continue
+		}
+		fin := dev.BurstFinish()
+		m.observe(r.Op, fin-issue, dev.BurstStart()-issue)
+		pending.Push(fin)
 	}
+	// Drain: the host clock ends at the last outstanding completion, the
+	// same instant the classic queue-depth-1 loop always ended on.
+	for pending.Len() > 0 {
+		dev.AdvanceTo(pending.PopMin())
+	}
+	return nil
 }
 
 // ReplayRequest issues one trace request as page-level FTL operations.
@@ -309,14 +461,31 @@ func ReplayRequest(f ftl.FTL, r trace.Request, pageSize int) error {
 	return replayRequest(f, r, pageSize, nil)
 }
 
+// replayRequest issues one request and, when m is given, measures it as a
+// single-request closed loop: issue at the device clock, observe the
+// burst completion, advance the clock there. ReplayQueued is the
+// multi-request generalization; this helper remains for callers that
+// drive requests one at a time.
 func replayRequest(f ftl.FTL, r trace.Request, pageSize int, m *ReplayMetrics) error {
 	dev := f.Device()
-	issue := dev.Now()
-	var opsBefore uint64
-	if m != nil {
-		st := dev.Stats()
-		opsBefore = st.Reads.Value() + st.Programs.Value() + st.Erases.Value()
+	if m == nil {
+		return issueRequest(f, r, pageSize)
 	}
+	issue := dev.Now()
+	dev.BeginBurst()
+	if err := issueRequest(f, r, pageSize); err != nil {
+		return err
+	}
+	if dev.BurstOps() > 0 {
+		fin := dev.BurstFinish()
+		m.observe(r.Op, fin-issue, dev.BurstStart()-issue)
+		dev.AdvanceTo(fin)
+	}
+	return nil
+}
+
+// issueRequest splits one trace request into page-level FTL operations.
+func issueRequest(f ftl.FTL, r trace.Request, pageSize int) error {
 	first, last := r.Pages(pageSize)
 	for lpn := first; lpn <= last; lpn++ {
 		if r.Op == trace.OpWrite {
@@ -329,26 +498,60 @@ func replayRequest(f ftl.FTL, r trace.Request, pageSize int, m *ReplayMetrics) e
 			}
 		}
 	}
-	if m != nil {
-		// Requests that touched no device page (reads of never-written
-		// LPNs) have no service latency; observing their 0 would drag the
-		// read percentiles toward zero on non-prefilled replays.
-		st := dev.Stats()
-		if st.Reads.Value()+st.Programs.Value()+st.Erases.Value() != opsBefore {
-			// The request completes when the last of its operations
-			// drains; advancing the issue clock to that point makes the
-			// host closed-loop (the next request issues at this one's
-			// completion).
-			fin := dev.Makespan()
-			if r.Op == trace.OpWrite {
-				m.WriteLatency.Observe(fin - issue)
-			} else {
-				m.ReadLatency.Observe(fin - issue)
-			}
-			dev.AdvanceTo(fin)
-		}
-	}
 	return nil
+}
+
+// completionQueue is a minimal min-heap of outstanding request completion
+// times — the pending-completion event queue of the host model. A plain
+// duration heap keeps the replay hot path free of interface boxing and,
+// once grown to the queue depth, of allocations.
+type completionQueue []time.Duration
+
+// Len returns the number of outstanding completions.
+func (q completionQueue) Len() int { return len(q) }
+
+// Min returns the earliest outstanding completion (q must be non-empty).
+func (q completionQueue) Min() time.Duration { return q[0] }
+
+// Push adds a completion time.
+func (q *completionQueue) Push(t time.Duration) {
+	h := append(*q, t)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	*q = h
+}
+
+// PopMin removes and returns the earliest completion (q must be non-empty).
+func (q *completionQueue) PopMin() time.Duration {
+	h := *q
+	min := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && h[l] < h[s] {
+			s = l
+		}
+		if r < n && h[r] < h[s] {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
+	*q = h
+	return min
 }
 
 func collect(spec RunSpec, f ftl.FTL, eraseBase uint64, rm *ReplayMetrics) Result {
@@ -372,6 +575,11 @@ func collect(spec RunSpec, f ftl.FTL, eraseBase uint64, rm *ReplayMetrics) Resul
 		res.WriteP50 = rm.WriteLatency.Quantile(0.50)
 		res.WriteP95 = rm.WriteLatency.Quantile(0.95)
 		res.WriteP99 = rm.WriteLatency.Quantile(0.99)
+		if rm.QueueDelay != nil {
+			res.QueueDelayP50 = rm.QueueDelay.Quantile(0.50)
+			res.QueueDelayP95 = rm.QueueDelay.Quantile(0.95)
+			res.QueueDelayP99 = rm.QueueDelay.Quantile(0.99)
+		}
 		res.Makespan = f.Device().Makespan()
 	}
 	if reads := st.FastReads.Value() + st.SlowReads.Value(); reads > 0 {

@@ -112,6 +112,22 @@ func DefaultLatencyHistogram() *Histogram {
 	return NewHistogram(bounds...)
 }
 
+// DefaultQueueDelayHistogram covers host queueing delays: the time a
+// request waits between issue (or open-loop arrival) and the device
+// starting its first operation. A leading zero bucket makes an idle host
+// report exact-zero percentiles (a queue depth of 1 never queues), and
+// the geometric ladder extends well past DefaultLatencyHistogram's range
+// because an open-loop backlog can grow to many times any single
+// request's service time.
+func DefaultQueueDelayHistogram() *Histogram {
+	bounds := make([]time.Duration, 0, 96)
+	bounds = append(bounds, 0)
+	for b := 10 * time.Microsecond; b <= 80*time.Second; b *= 2 {
+		bounds = append(bounds, b, b*5/4, b*3/2, b*7/4)
+	}
+	return NewHistogram(bounds...)
+}
+
 // Observe records one sample.
 func (h *Histogram) Observe(d time.Duration) {
 	idx := len(h.bounds)

@@ -197,3 +197,25 @@ func TestFormatFloat(t *testing.T) {
 		}
 	}
 }
+
+// TestDefaultQueueDelayHistogramZeroBucket: the queue-delay histogram
+// leads with a zero bucket so a host that never queues (queue depth 1)
+// reports exact-zero percentiles instead of the first ladder bound.
+func TestDefaultQueueDelayHistogramZeroBucket(t *testing.T) {
+	h := DefaultQueueDelayHistogram()
+	for i := 0; i < 10; i++ {
+		h.Observe(0)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("all-zero samples: q%.2f = %v, want 0", q, got)
+		}
+	}
+	h.Observe(30 * time.Second) // open-loop backlogs exceed the latency ladder
+	if got := h.Quantile(1); got < 30*time.Second {
+		t.Errorf("q1 = %v, want >= 30s (ladder must cover open-loop backlogs)", got)
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("median = %v, want 0 (10 of 11 samples are zero)", got)
+	}
+}

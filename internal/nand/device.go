@@ -63,11 +63,11 @@ type blockState struct {
 
 // DeviceStats aggregates raw device-level activity.
 type DeviceStats struct {
-	Reads    metrics.Counter
-	Programs metrics.Counter
-	Erases   metrics.Counter
-	ReadTime metrics.Latency
-	ProgTime metrics.Latency
+	Reads     metrics.Counter
+	Programs  metrics.Counter
+	Erases    metrics.Counter
+	ReadTime  metrics.Latency
+	ProgTime  metrics.Latency
 	EraseTime metrics.Latency
 }
 
@@ -82,10 +82,12 @@ type DeviceStats struct {
 // max(Now, chip free time), occupying the chip for the op's cost. Ops
 // issued against different chips between two AdvanceTo calls therefore
 // overlap in simulated time, while ops on one chip queue behind each
-// other. The harness advances Now to the completion of each host request
-// (a closed queue-depth-1 host), so a request's completion latency is
-// Makespan()-Now at issue — the time the last chip touched so far drains
-// — and the simulated makespan is the maximum chip free time. Cost
+// other. The harness advances Now as its host queueing model dispatches
+// requests (the classic closed loop at queue depth 1 advances to each
+// request's completion; deeper queues and open-loop arrivals advance it
+// from the completion event queue — see harness.ReplayQueued), and each
+// request's completion latency is its burst finish minus its issue time.
+// The simulated makespan is the maximum chip free time. Cost
 // accounting (DeviceStats, returned costs) is completely
 // independent of the scheduling model, and with Chips=1 the makespan
 // degenerates to the serial sum of all costs.
@@ -113,6 +115,15 @@ type Device struct {
 	now        time.Duration
 	chipFree   []time.Duration
 	lastFinish time.Duration
+
+	// Burst window (see BeginBurst): the ops scheduled since the last
+	// BeginBurst call, their earliest start and latest finish. The harness
+	// brackets each host request with a burst so it can split the
+	// request's completion latency into queueing delay (issue to first op
+	// start) and service time without rescanning the chip clocks.
+	burstOps   uint64
+	burstStart time.Duration
+	burstFin   time.Duration
 }
 
 // NewDevice builds a device from a validated config.
@@ -163,6 +174,13 @@ func (d *Device) schedule(b BlockID, cost time.Duration) time.Duration {
 	fin := start + cost
 	d.chipFree[chip] = fin
 	d.lastFinish = fin
+	if d.burstOps == 0 || start < d.burstStart {
+		d.burstStart = start
+	}
+	if d.burstOps == 0 || fin > d.burstFin {
+		d.burstFin = fin
+	}
+	d.burstOps++
 	return fin
 }
 
@@ -200,6 +218,51 @@ func (d *Device) Makespan() time.Duration {
 // ChipFree returns the next-free clock of one chip (diagnostics).
 func (d *Device) ChipFree(chip int) time.Duration { return d.chipFree[chip] }
 
+// EarliestChipFree returns the smallest per-chip next-free clock — the
+// moment the least-loaded chip can start new work. It is a diagnostics
+// probe and the natural hook for a future least-loaded dispatch policy;
+// the current host queueing model advances its clock from request
+// completions alone, and block placement stays with the round-robin
+// striping in vblock.Manager.
+func (d *Device) EarliestChipFree() time.Duration {
+	min := d.chipFree[0]
+	for _, f := range d.chipFree[1:] {
+		if f < min {
+			min = f
+		}
+	}
+	return min
+}
+
+// BeginBurst starts a new burst window: BurstOps, BurstStart and
+// BurstFinish describe only the operations scheduled after this call.
+// The harness brackets each host request with a burst so the request's
+// completion (latest op finish) and queueing delay (earliest op start
+// minus issue) come straight from the device, independent of what other
+// outstanding requests schedule on other chips.
+func (d *Device) BeginBurst() { d.burstOps = 0 }
+
+// BurstOps returns how many operations the current burst scheduled.
+func (d *Device) BurstOps() uint64 { return d.burstOps }
+
+// BurstStart returns the earliest operation start time of the current
+// burst (zero when the burst scheduled nothing).
+func (d *Device) BurstStart() time.Duration {
+	if d.burstOps == 0 {
+		return 0
+	}
+	return d.burstStart
+}
+
+// BurstFinish returns the latest operation completion time of the current
+// burst (zero when the burst scheduled nothing).
+func (d *Device) BurstFinish() time.Duration {
+	if d.burstOps == 0 {
+		return 0
+	}
+	return d.burstFin
+}
+
 // ResetClocks zeroes the service-time model (issue clock, per-chip free
 // clocks, last finish) without touching device contents or cost counters.
 // The harness resets after prefill so makespan and latency percentiles
@@ -207,6 +270,9 @@ func (d *Device) ChipFree(chip int) time.Duration { return d.chipFree[chip] }
 func (d *Device) ResetClocks() {
 	d.now = 0
 	d.lastFinish = 0
+	d.burstOps = 0
+	d.burstStart = 0
+	d.burstFin = 0
 	for i := range d.chipFree {
 		d.chipFree[i] = 0
 	}
@@ -337,44 +403,101 @@ func (d *Device) eraseBlock(b BlockID, blk *blockState) time.Duration {
 	return d.cfg.EraseLatency
 }
 
-// State returns the state of the page at ppn.
+// blockAt returns the block's state, or nil when b is out of range. The
+// read-only introspection accessors below use it so they all degrade the
+// same way State always has — zero values for addresses the device does
+// not have — instead of panicking on a slice index while the mutating
+// operations return ErrOutOfRange.
+func (d *Device) blockAt(b BlockID) *blockState {
+	if int(b) >= len(d.blocks) {
+		return nil
+	}
+	return &d.blocks[b]
+}
+
+// State returns the state of the page at ppn (PageFree when ppn is out of
+// range).
 func (d *Device) State(p PPN) PageState {
 	b, page := d.cfg.SplitPPN(p)
-	if int(b) >= len(d.blocks) || page >= d.cfg.PagesPerBlock {
+	blk := d.blockAt(b)
+	if blk == nil || page >= d.cfg.PagesPerBlock {
 		return PageFree
 	}
-	return d.blocks[b].states[page]
+	return blk.states[page]
 }
 
 // PeekOOB returns the stored OOB without paying read cost (simulator
 // introspection; FTLs use it only during GC scans, which real controllers
-// amortize by reading OOB-only).
+// amortize by reading OOB-only). Out-of-range PPNs yield a zero OOB.
 func (d *Device) PeekOOB(p PPN) OOB {
 	b, page := d.cfg.SplitPPN(p)
-	return d.blocks[b].oob[page]
+	blk := d.blockAt(b)
+	if blk == nil || page >= d.cfg.PagesPerBlock {
+		return OOB{}
+	}
+	return blk.oob[page]
 }
 
-// NextPage returns the in-order programming cursor of a block.
-func (d *Device) NextPage(b BlockID) int { return d.blocks[b].nextPage }
+// NextPage returns the in-order programming cursor of a block (zero when
+// b is out of range).
+func (d *Device) NextPage(b BlockID) int {
+	blk := d.blockAt(b)
+	if blk == nil {
+		return 0
+	}
+	return blk.nextPage
+}
 
-// ValidPages returns how many pages of the block are valid.
-func (d *Device) ValidPages(b BlockID) int { return d.blocks[b].validPages }
+// ValidPages returns how many pages of the block are valid (zero when b
+// is out of range).
+func (d *Device) ValidPages(b BlockID) int {
+	blk := d.blockAt(b)
+	if blk == nil {
+		return 0
+	}
+	return blk.validPages
+}
 
-// InvalidPages returns how many pages of the block are invalid.
-func (d *Device) InvalidPages(b BlockID) int { return d.blocks[b].invalid }
+// InvalidPages returns how many pages of the block are invalid (zero when
+// b is out of range).
+func (d *Device) InvalidPages(b BlockID) int {
+	blk := d.blockAt(b)
+	if blk == nil {
+		return 0
+	}
+	return blk.invalid
+}
 
-// FreePages returns how many pages of the block are still programmable.
+// FreePages returns how many pages of the block are still programmable
+// (zero when b is out of range — a nonexistent block offers no space).
 func (d *Device) FreePages(b BlockID) int {
-	return d.cfg.PagesPerBlock - d.blocks[b].nextPage
+	blk := d.blockAt(b)
+	if blk == nil {
+		return 0
+	}
+	return d.cfg.PagesPerBlock - blk.nextPage
 }
 
-// EraseCount returns the block's program/erase cycle count.
-func (d *Device) EraseCount(b BlockID) uint32 { return d.blocks[b].eraseCount }
+// EraseCount returns the block's program/erase cycle count (zero when b
+// is out of range).
+func (d *Device) EraseCount(b BlockID) uint32 {
+	blk := d.blockAt(b)
+	if blk == nil {
+		return 0
+	}
+	return blk.eraseCount
+}
 
 // BlockAge returns how many device-wide page programs have happened since
 // the block was last programmed — the "age" term of cost-benefit garbage
-// collection victim selection.
-func (d *Device) BlockAge(b BlockID) uint64 { return d.progSeq - d.blocks[b].lastProg }
+// collection victim selection. Out-of-range blocks report the maximum age.
+func (d *Device) BlockAge(b BlockID) uint64 {
+	blk := d.blockAt(b)
+	if blk == nil {
+		return d.progSeq
+	}
+	return d.progSeq - blk.lastProg
+}
 
 // TotalErases returns the device-wide erase count.
 func (d *Device) TotalErases() uint64 { return d.stats.Erases.Value() }

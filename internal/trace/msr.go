@@ -33,7 +33,8 @@ type MSRRecord struct {
 type MSRReader struct {
 	s     *bufio.Scanner
 	line  int
-	base  int64 // first timestamp, to rebase Time to trace start
+	base  int64         // first timestamp, to rebase Time to trace start
+	last  time.Duration // previous rebased arrival, to clamp non-monotonic stamps
 	begun bool
 	disk  int  // only this disk number is returned when filter is set
 	filt  bool // whether disk filtering is enabled
@@ -74,7 +75,17 @@ func (m *MSRReader) Next() (MSRRecord, error) {
 			m.begun = true
 			m.base = int64(ts)
 		}
-		rec.Request.Time = time.Duration(int64(ts) - m.base)
+		// Rebase to trace start and clamp to the previous arrival: MSR
+		// traces occasionally carry non-monotonic timestamps (clock
+		// adjustments, multiplexed volumes), and rebasing on the first
+		// record alone would then hand out negative or backwards Times —
+		// which open-loop replay gates on.
+		t := time.Duration(int64(ts) - m.base)
+		if t < m.last {
+			t = m.last
+		}
+		m.last = t
+		rec.Request.Time = t
 		return rec, nil
 	}
 	if err := m.s.Err(); err != nil {

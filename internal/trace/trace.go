@@ -29,9 +29,12 @@ func (o Op) String() string {
 
 // Request is one block-level I/O.
 type Request struct {
-	// Time is the request arrival time relative to trace start. The
-	// simulator is closed-loop (requests are replayed back to back), so
-	// Time is carried for fidelity but does not gate replay.
+	// Time is the request arrival time relative to trace start. Closed-
+	// loop replay (the default) ignores it and issues requests back to
+	// back, but open-loop replay (harness.ReplayOptions.OpenLoop) issues
+	// each request at its Time, so arrival fidelity matters there.
+	// Readers must emit non-decreasing, non-negative times; MSRReader
+	// clamps non-monotonic source timestamps to enforce this.
 	Time time.Duration
 	// Op is the direction.
 	Op Op

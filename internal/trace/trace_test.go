@@ -230,6 +230,40 @@ func TestPropertyMSRRoundTrip(t *testing.T) {
 	}
 }
 
+// TestMSRReaderClampsNonMonotonicTimestamps: MSR traces occasionally
+// carry timestamps that jump backwards (clock adjustments, multiplexed
+// volumes). Rebasing on the first record alone produced negative
+// Request.Time values; the reader must clamp each arrival to the
+// previous one so open-loop replay — which gates on arrivals — sees a
+// monotone, non-negative sequence.
+func TestMSRReaderClampsNonMonotonicTimestamps(t *testing.T) {
+	in := "1000,hm,0,Read,0,4096,0\n" + // base
+		"500,hm,0,Read,4096,4096,0\n" + // before base: would be -50µs
+		"1500,hm,0,Read,8192,4096,0\n" + // +50µs
+		"400,hm,0,Read,12288,4096,0\n" // backwards again
+	reqs, err := NewMSRReader(strings.NewReader(in)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{0, 0, 500 * filetimeTick, 500 * filetimeTick}
+	if len(reqs) != len(want) {
+		t.Fatalf("got %d records, want %d", len(reqs), len(want))
+	}
+	var prev time.Duration
+	for i, r := range reqs {
+		if r.Time != want[i] {
+			t.Errorf("record %d time = %v, want %v", i, r.Time, want[i])
+		}
+		if r.Time < 0 {
+			t.Errorf("record %d time %v negative", i, r.Time)
+		}
+		if r.Time < prev {
+			t.Errorf("record %d time %v below previous %v", i, r.Time, prev)
+		}
+		prev = r.Time
+	}
+}
+
 func TestSimpleFormat(t *testing.T) {
 	in := `# fixture
 W 0 4096

@@ -170,8 +170,11 @@ type (
 	// quantiles (P50/P95/P99 in RunResult come from these).
 	Histogram = metrics.Histogram
 	// ReplayMetrics accumulates per-request completion latency during a
-	// measured replay (see ReplayMeasured).
+	// measured replay (see ReplayMeasured and ReplayQueued).
 	ReplayMetrics = harness.ReplayMetrics
+	// ReplayOptions selects the host queueing model of a measured replay:
+	// queue depth (outstanding request cap) and closed- vs open-loop.
+	ReplayOptions = harness.ReplayOptions
 )
 
 // Strategy kinds for RunSpec.
@@ -214,17 +217,31 @@ func Replay(f FTL, gen Generator) error { return harness.Replay(f, gen) }
 
 // ReplayMeasured is Replay recording per-request completion latency under
 // the device's chip-parallel service model into m (build m with
-// NewReplayMetrics; nil skips measurement).
+// NewReplayMetrics; nil skips measurement). It is the classic closed loop
+// at queue depth 1; use ReplayQueued for deeper queues or open-loop
+// arrivals.
 func ReplayMeasured(f FTL, gen Generator, m *ReplayMetrics) error {
 	return harness.ReplayMeasured(f, gen, m)
+}
+
+// ReplayQueued replays the generator under a host queueing model: a
+// closed loop keeping ReplayOptions.QueueDepth requests outstanding, or —
+// with ReplayOptions.OpenLoop — an open loop issuing requests at their
+// trace arrival times and recording queueing delay alongside completion
+// latency. A nil m skips measurement and the host model entirely (the
+// options are ignored and requests replay back to back, like Replay);
+// pass NewReplayMetrics() when the queueing model should shape the
+// device clocks.
+func ReplayQueued(f FTL, gen Generator, m *ReplayMetrics, opts ReplayOptions) error {
+	return harness.ReplayQueued(f, gen, m, opts)
 }
 
 // NewReplayMetrics builds request-latency histograms for ReplayMeasured.
 func NewReplayMetrics() *ReplayMetrics { return harness.NewReplayMetrics() }
 
 // Experiment runs one of the paper's experiments by ID ("12".."18" for
-// figures, "3" for the motivation study, "a1".."a4" for ablations and
-// the chip-parallel sweep).
+// figures, "3" for the motivation study, "a1".."a5" for ablations, the
+// chip-parallel sweep and the queue-depth sweep).
 func Experiment(id string, s Scale) (*FigureResult, error) {
 	fn, ok := harness.Experiments[id]
 	if !ok {
@@ -248,5 +265,5 @@ type unknownExperimentError string
 func errUnknownExperiment(id string) error { return unknownExperimentError(id) }
 
 func (e unknownExperimentError) Error() string {
-	return "ppbflash: unknown experiment " + string(e) + " (want one of 3, 12-18, a1-a4)"
+	return "ppbflash: unknown experiment " + string(e) + " (want one of 3, 12-18, a1-a5)"
 }
