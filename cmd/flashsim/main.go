@@ -7,6 +7,7 @@
 //
 //	flashsim -ftl ppb -trace websql.csv [-format msr] [-gb 4] \
 //	         [-ratio 2] [-pagesize 16384] [-chips N] [-qd N] [-openloop] \
+//	         [-dispatch striped|least-loaded|hotcold-affinity] \
 //	         [-prefill] [-parallel N]
 //
 // -ftl accepts a comma-separated list (e.g. -ftl conventional,ppb); the
@@ -16,6 +17,11 @@
 // issues requests at their trace arrival timestamps and reports the
 // queueing delay the backlog builds up (-qd still caps the outstanding
 // requests).
+//
+// -dispatch picks the chip-dispatch policy for fresh-block allocation on
+// multi-chip devices (-chips > 1): round-robin striping (default), the
+// earliest-free chip by the device clocks, or hot-stream pools pinned to
+// a chip subset.
 package main
 
 import (
@@ -37,6 +43,7 @@ func main() {
 		ratio    = flag.Float64("ratio", 2, "bottom/top page speed ratio (paper: 2-5)")
 		pageSize = flag.Int("pagesize", 16<<10, "page size in bytes")
 		chips    = flag.Int("chips", 1, "flash chips sharing the capacity (chip-parallel service)")
+		dispatch = flag.String("dispatch", "striped", "chip-dispatch policy: striped, least-loaded or hotcold-affinity")
 		qd       = flag.Int("qd", 1, "host queue depth: outstanding requests during replay")
 		openloop = flag.Bool("openloop", false, "issue requests at their trace arrival times (open loop)")
 		prefill  = flag.Bool("prefill", true, "write the whole logical space before replay")
@@ -93,6 +100,7 @@ func main() {
 			Prefill:    *prefill,
 			QueueDepth: *qd,
 			OpenLoop:   *openloop,
+			Dispatch:   *dispatch,
 			Workload: func(logicalBytes uint64) ppbflash.Generator {
 				return replayGenerator(reqs, logicalBytes)
 			},
@@ -117,8 +125,8 @@ func main() {
 		if *openloop {
 			mode = fmt.Sprintf("open loop, QD cap %d", *qd)
 		}
-		fmt.Printf("device: %.1f GiB, %d KB pages, ratio %.0fx, %d chip(s), %s FTL, %s\n",
-			float64(cfg.TotalBytes())/(1<<30), cfg.PageSize>>10, cfg.SpeedRatio, cfg.Chips, specs[i].Kind, mode)
+		fmt.Printf("device: %.1f GiB, %d KB pages, ratio %.0fx, %d chip(s), %s dispatch, %s FTL, %s\n",
+			float64(cfg.TotalBytes())/(1<<30), cfg.PageSize>>10, cfg.SpeedRatio, cfg.Chips, *dispatch, specs[i].Kind, mode)
 		fmt.Printf("host:   %d page reads (%d unmapped), %d page writes\n",
 			res.HostReadPages, res.UnmappedReads, res.HostWritePage)
 		fmt.Printf("time:   read total %v, write total %v, makespan %v\n", res.ReadTotal, res.WriteTotal, res.Makespan)

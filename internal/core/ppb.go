@@ -22,10 +22,12 @@
 // right speed only when it is rewritten by the host or relocated by GC,
 // so the strategy adds no write or GC overhead of its own (§4.2).
 //
-// On multi-chip devices PPB inherits channel striping from the
-// virtual-block manager: each pool's freshly allocated blocks rotate
-// across chips, so the per-pool pipelines spread over the channels
-// without any PPB-specific chip logic.
+// On multi-chip devices PPB inherits chip placement from the
+// virtual-block manager's dispatch policy: by default each pool's
+// freshly allocated blocks rotate across chips (channel striping), and
+// the alternative policies (least-loaded, hot/cold chip affinity) apply
+// to PPB without any PPB-specific chip logic beyond marking its
+// hot-area pools.
 package core
 
 import (
@@ -239,6 +241,10 @@ func New(dev *nand.Device, opt Options) (*PPB, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The hot-area pools carry the frequently rewritten host churn; under
+	// a hot/cold affinity dispatch the bulk/library/dark cold pools (and
+	// their GC erases) stay off the hot chips.
+	vbm.MarkHotPools(poolHotHost, poolHotGC)
 	base, err := ftl.NewBase(dev, vbm, opt.FTL)
 	if err != nil {
 		return nil, err

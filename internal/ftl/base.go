@@ -27,7 +27,10 @@ type Base struct {
 // over dev and the strategy's virtual-block manager. Strategy packages
 // (internal/core) embed the result. Taking the manager at construction
 // (rather than attaching it later) guarantees Invalidate always feeds
-// the manager's GC victim index — a strategy cannot forget to wire it.
+// the manager's GC victim index — a strategy cannot forget to wire it —
+// and lets NewBase thread the dispatch policy plus the device's
+// read-only chip clock view into the manager, so clock-aware policies
+// work for every strategy without per-FTL wiring.
 func NewBase(dev *nand.Device, vbm *vblock.Manager, opts Options) (Base, error) {
 	cfg := dev.Config()
 	opts = opts.withDefaults(cfg)
@@ -37,6 +40,7 @@ func NewBase(dev *nand.Device, vbm *vblock.Manager, opts Options) (Base, error) 
 	if vbm == nil {
 		return Base{}, fmt.Errorf("ftl: NewBase requires a vblock manager")
 	}
+	vbm.SetDispatch(opts.Dispatch, dev.ClockView())
 	logical := LogicalPagesFor(cfg, opts.OverProvision)
 	if logical == 0 {
 		return Base{}, fmt.Errorf("ftl: no logical space (over-provision %g on %d pages)",

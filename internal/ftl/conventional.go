@@ -40,6 +40,10 @@ func NewConventional(dev *nand.Device, opts Options) (*Conventional, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The host stream is the latency-sensitive one; under a hot/cold
+	// affinity dispatch the GC stream keeps its multi-ms erases off the
+	// host chips.
+	vbm.MarkHotPools(convHost)
 	b, err := NewBase(dev, vbm, opts)
 	if err != nil {
 		return nil, err

@@ -16,12 +16,12 @@
 // The PPB strategy itself lives in internal/core and plugs into the same
 // FTL interface.
 //
-// Every strategy allocates blocks through vblock.Manager, which stripes
-// the free pool round-robin across chips on multi-chip devices: each
-// newly opened active block lands on the next chip, so host and GC
-// streams spread over the channels and the device's chip-parallel
-// service model can overlap their operations. Strategies need no
-// chip awareness of their own.
+// Every strategy allocates blocks through vblock.Manager, whose
+// dispatch policy (Options.Dispatch) decides which chip each newly
+// opened active block lands on: round-robin striping by default, the
+// idlest chip under vblock.LeastLoaded, or a hot/cold chip split under
+// vblock.HotColdAffinity. Strategies need no chip awareness of their
+// own beyond declaring their hot-stream pools (Manager.MarkHotPools).
 package ftl
 
 import (
@@ -31,6 +31,7 @@ import (
 
 	"ppbflash/internal/metrics"
 	"ppbflash/internal/nand"
+	"ppbflash/internal/vblock"
 )
 
 // FTL is the host-visible interface of a flash translation layer. Hosts
@@ -76,6 +77,15 @@ type Options struct {
 	// NOT restore the pre-PR-1 cost-benefit scoring (see victimPolicy in
 	// base.go). Leave false outside of debugging.
 	DebugScanVictims bool
+	// Dispatch is the chip-dispatch policy consulted whenever a fresh
+	// physical block is allocated — host writes, GC relocations and
+	// hot/cold stream pipelines alike. nil defaults to vblock.Striped
+	// (round-robin channel striping, the historical behavior);
+	// vblock.LeastLoaded follows the device's per-chip service clocks to
+	// the idlest chip, and vblock.HotColdAffinity pins hot-stream pools
+	// to a chip subset. Single-chip devices behave identically under
+	// every built-in policy.
+	Dispatch vblock.DispatchPolicy
 }
 
 func (o Options) withDefaults(cfg nand.Config) Options {

@@ -39,6 +39,9 @@ func NewGreedySpeed(dev *nand.Device, opts Options, ident hotness.Identifier) (*
 	if err != nil {
 		return nil, err
 	}
+	// The strawman mixes hot and cold data in one shared pool, so the
+	// whole pool counts as hot-stream for affinity dispatch purposes.
+	vbm.MarkHotPools(0)
 	b, err := NewBase(dev, vbm, opts)
 	if err != nil {
 		return nil, err

@@ -32,6 +32,7 @@ func NewHotColdSplit(dev *nand.Device, opts Options, ident hotness.Identifier) (
 	if err != nil {
 		return nil, err
 	}
+	vbm.MarkHotPools(int(hotness.AreaHot))
 	b, err := NewBase(dev, vbm, opts)
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 	"ppbflash/internal/hotness"
 	"ppbflash/internal/metrics"
 	"ppbflash/internal/nand"
+	"ppbflash/internal/vblock"
 )
 
 // FigureResult bundles a rendered table with the raw numeric series so
@@ -465,6 +466,75 @@ func QDSweep(s Scale) (*FigureResult, error) {
 	return fig, nil
 }
 
+// DispatchPolicies is the policy axis of experiment a6 (the names
+// RunSpec.Dispatch accepts, in presentation order) — aliased from the
+// policy registry so a new built-in policy joins the sweep automatically.
+var DispatchPolicies = vblock.DispatchPolicyNames
+
+// DispatchSweepDepths is the queue-depth axis of experiment a6: deep
+// enough that block placement decides how much of the queue overlaps.
+var DispatchSweepDepths = []int{4, 16}
+
+// dispatchSweepChips matches the a5 device: placement only matters when
+// there are chips to choose between.
+const dispatchSweepChips = 4
+
+// DispatchSweep (experiment a6) measures the chip-dispatch policy axis:
+// the same 4-chip device, both traces, conventional vs PPB, each
+// dispatch policy, at queue depths 4 and 16. Round-robin striping is
+// placement-blind — a hot chip stays hot no matter what the clocks say —
+// so on the skewed websql trace the least-loaded policy opens fresh
+// blocks on idle chips instead, lowering makespan and the queueing-delay
+// tail; hot/cold affinity trades some of that balance for isolating hot
+// host writes from cold GC erases.
+func DispatchSweep(s Scale) (*FigureResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	dev := trimToChipMultiple(s.DeviceConfig(16<<10, 2.0), dispatchSweepChips).WithChips(dispatchSweepChips)
+	specs := make([]RunSpec, 0, len(paperTraces)*len(DispatchPolicies)*len(DispatchSweepDepths)*2)
+	for _, tr := range paperTraces {
+		wl, err := s.workloadByName(tr)
+		if err != nil {
+			return nil, err
+		}
+		for _, policy := range DispatchPolicies {
+			for _, qd := range DispatchSweepDepths {
+				p := pairSpecs(fmt.Sprintf("dispatch-sweep/%s/%s/qd%d", tr, policy, qd), s, 16<<10, 2.0, wl)
+				p[0].Device, p[1].Device = dev, dev
+				p[0].QueueDepth, p[1].QueueDepth = qd, qd
+				p[0].Dispatch, p[1].Dispatch = policy, policy
+				specs = append(specs, p[0], p[1])
+			}
+		}
+	}
+	results, err := RunAll(specs, s.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	tbl := metrics.NewTable("Experiment a6: chip-dispatch policy x queue depth on 4 chips (ratio 2x)",
+		"trace", "dispatch", "QD", "conv makespan (s)", "ppb makespan (s)", "conv qdelay p99", "ppb qdelay p99", "ppb read p99")
+	fig := newFigure("a6-dispatch-sweep", tbl)
+	i := 0
+	for _, tr := range paperTraces {
+		for _, policy := range DispatchPolicies {
+			for _, qd := range DispatchSweepDepths {
+				conv, ppb := results[i], results[i+1]
+				i += 2
+				key := fmt.Sprintf("%s/%s", tr, policy)
+				fig.add(key+"/makespan/conv", conv.Makespan.Seconds())
+				fig.add(key+"/makespan/ppb", ppb.Makespan.Seconds())
+				fig.add(key+"/qdelayp99/conv", conv.QueueDelayP99.Seconds())
+				fig.add(key+"/qdelayp99/ppb", ppb.QueueDelayP99.Seconds())
+				fig.add(key+"/readp99/ppb", ppb.ReadP99.Seconds())
+				tbl.AddRow(tr, policy, qd, conv.Makespan.Seconds(), ppb.Makespan.Seconds(),
+					conv.QueueDelayP99, ppb.QueueDelayP99, ppb.ReadP99)
+			}
+		}
+	}
+	return fig, nil
+}
+
 // TableOne renders the experimental parameters (the paper's Table 1).
 func TableOne() *FigureResult {
 	cfg := Scale{DeviceDivisor: 1, WriteTurnover: 1}.DeviceConfig(16<<10, 2.0)
@@ -497,7 +567,8 @@ var Experiments = map[string]func(Scale) (*FigureResult, error){
 	"a3": AblationLayers,
 	"a4": ChipSweep,
 	"a5": QDSweep,
+	"a6": DispatchSweep,
 }
 
 // ExperimentOrder is the presentation order for "run everything".
-var ExperimentOrder = []string{"12", "13", "14", "15", "16", "17", "18", "3", "a1", "a2", "a3", "a4", "a5"}
+var ExperimentOrder = []string{"12", "13", "14", "15", "16", "17", "18", "3", "a1", "a2", "a3", "a4", "a5", "a6"}

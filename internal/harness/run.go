@@ -14,6 +14,7 @@ import (
 	"ppbflash/internal/metrics"
 	"ppbflash/internal/nand"
 	"ppbflash/internal/trace"
+	"ppbflash/internal/vblock"
 	"ppbflash/internal/workload"
 )
 
@@ -60,6 +61,13 @@ type RunSpec struct {
 	// and latency is measured from arrival, so queueing delay captures
 	// any backlog. QueueDepth still caps the outstanding requests.
 	OpenLoop bool
+	// Dispatch names the chip-dispatch policy deciding which chip every
+	// fresh block allocation lands on: "striped" (round-robin, the
+	// default), "least-loaded" (earliest-free chip by the device clocks)
+	// or "hotcold-affinity" (hot-stream pools pinned to a chip subset).
+	// Empty leaves FTLOptions.Dispatch in charge (nil there = striped);
+	// a non-empty name overrides it. See vblock.DispatchByName.
+	Dispatch string
 }
 
 // Result carries the measurements of one run.
@@ -120,6 +128,13 @@ type Result struct {
 
 // buildFTL constructs the FTL for a spec.
 func buildFTL(spec RunSpec, dev *nand.Device) (ftl.FTL, error) {
+	if spec.Dispatch != "" {
+		policy, err := vblock.DispatchByName(spec.Dispatch)
+		if err != nil {
+			return nil, err
+		}
+		spec.FTLOptions.Dispatch = policy
+	}
 	switch spec.Kind {
 	case KindConventional:
 		return ftl.NewConventional(dev, spec.FTLOptions)

@@ -215,15 +215,20 @@ func (d *Device) Makespan() time.Duration {
 	return max
 }
 
-// ChipFree returns the next-free clock of one chip (diagnostics).
-func (d *Device) ChipFree(chip int) time.Duration { return d.chipFree[chip] }
+// ChipFree returns the next-free clock of one chip. Out-of-range chips
+// report zero like the other read-only introspection accessors.
+func (d *Device) ChipFree(chip int) time.Duration {
+	if chip < 0 || chip >= len(d.chipFree) {
+		return 0
+	}
+	return d.chipFree[chip]
+}
 
 // EarliestChipFree returns the smallest per-chip next-free clock — the
-// moment the least-loaded chip can start new work. It is a diagnostics
-// probe and the natural hook for a future least-loaded dispatch policy;
-// the current host queueing model advances its clock from request
-// completions alone, and block placement stays with the round-robin
-// striping in vblock.Manager.
+// moment the least-loaded chip can start new work. The host queueing
+// model advances its clock from request completions alone; dispatch
+// policies that follow the chip clocks consume them through ClockView
+// instead.
 func (d *Device) EarliestChipFree() time.Duration {
 	min := d.chipFree[0]
 	for _, f := range d.chipFree[1:] {
@@ -233,6 +238,24 @@ func (d *Device) EarliestChipFree() time.Duration {
 	}
 	return min
 }
+
+// ClockView is a read-only handle over the device's per-chip service
+// clocks: the view clock-aware dispatch policies (vblock.LeastLoaded,
+// vblock.HotColdAffinity) consult without being handed the mutable
+// device. It satisfies vblock.ChipClock.
+type ClockView struct {
+	d *Device
+}
+
+// ClockView returns the read-only per-chip clock view of the device.
+func (d *Device) ClockView() ClockView { return ClockView{d: d} }
+
+// Chips returns how many chips the viewed device has.
+func (v ClockView) Chips() int { return len(v.d.chipFree) }
+
+// ChipFree returns the next-free clock of one chip (zero when chip is
+// out of range, matching the device's introspection accessors).
+func (v ClockView) ChipFree(chip int) time.Duration { return v.d.ChipFree(chip) }
 
 // BeginBurst starts a new burst window: BurstOps, BurstStart and
 // BurstFinish describe only the operations scheduled after this call.

@@ -42,6 +42,14 @@ type Request struct {
 	Offset uint64
 	// Size is the request length in bytes.
 	Size uint32
+	// Hot is an advisory hot-stream tag: workload generators set it on
+	// requests they know target frequently re-accessed data (index,
+	// metadata, log regions), giving experiments and tests a placement
+	// ground truth. Replay does not consume it — FTLs must identify
+	// hotness from what a real controller sees (sizes and access
+	// history), which is the paper's whole premise — and trace file
+	// formats do not carry it.
+	Hot bool
 }
 
 // End returns the first byte offset after the request.
@@ -80,11 +88,15 @@ type Stats struct {
 	WriteBytes  uint64
 	MaxEnd      uint64
 	SmallWrites int // writes below 16 KB, the size-check hot signal
+	HotTagged   int // requests the generator tagged as hot-stream
 }
 
 // Observe folds one request into the stats.
 func (s *Stats) Observe(r Request) {
 	s.Requests++
+	if r.Hot {
+		s.HotTagged++
+	}
 	if r.Op == OpRead {
 		s.Reads++
 		s.ReadBytes += uint64(r.Size)

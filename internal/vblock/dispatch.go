@@ -1,0 +1,160 @@
+package vblock
+
+import (
+	"fmt"
+	"time"
+)
+
+// ChipClock is the read-only per-chip service-clock view a dispatch
+// policy may consult: ChipFree reports when the chip finishes its queued
+// device work. nand.Device and its nand.ClockView both satisfy it; a
+// manager without a clock (SetDispatch with nil) serves clock-aware
+// policies through their striped fallback.
+type ChipClock interface {
+	ChipFree(chip int) time.Duration
+}
+
+// DispatchPolicy selects the chip a fresh physical block is allocated
+// from. The manager consults it on every AllocateFirst — host writes, GC
+// relocations and hot/cold stream pipelines alike — so the policy decides
+// where every write stream lands on a multi-chip device.
+//
+// PickChip runs with at least one free block somewhere and must return a
+// chip in [0, Manager.Chips()) whose free pool is non-empty (probe with
+// the bounds-safe Manager.FreeBlocksOnChip; clock-aware policies read
+// Manager.Clock); the manager treats any other return as "no preference"
+// and falls back to the striped rotation. Policies needing rotation
+// state keep it on the Manager (see Striped), so a policy value itself
+// is stateless and may be shared between concurrent simulation runs.
+type DispatchPolicy interface {
+	// Name identifies the policy in flags, specs and reports.
+	Name() string
+	// PickChip returns the chip serving the pool's next fresh block.
+	PickChip(m *Manager, pool int) int
+}
+
+// Striped is the default dispatch policy: consecutive allocations rotate
+// round-robin across the chips (channel striping), lowest-numbered free
+// block first within each chip, skipping drained chips. It is the exact
+// allocation order the manager used before policies became pluggable —
+// bit-identical at any chip count — and degenerates to plain
+// lowest-numbered-first order at Chips=1.
+type Striped struct{}
+
+// Name implements DispatchPolicy.
+func (Striped) Name() string { return "striped" }
+
+// PickChip implements DispatchPolicy.
+func (Striped) PickChip(m *Manager, _ int) int {
+	chip := m.nextChip
+	for m.free[chip].Len() == 0 {
+		chip = (chip + 1) % len(m.free)
+	}
+	m.nextChip = (chip + 1) % len(m.free)
+	return chip
+}
+
+// LeastLoaded allocates each fresh block on the chip whose service clock
+// frees earliest (ties to the lowest chip index), so a new write stream
+// opens where the device is idle instead of rotating blindly onto a chip
+// still draining a GC burst. It needs the per-chip clock view threaded by
+// Manager.SetDispatch; without one it behaves exactly like Striped. At
+// Chips=1 both reduce to chip 0, keeping single-chip runs bit-identical.
+type LeastLoaded struct{}
+
+// Name implements DispatchPolicy.
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// PickChip implements DispatchPolicy.
+func (LeastLoaded) PickChip(m *Manager, pool int) int {
+	if m.Clock() == nil {
+		return Striped{}.PickChip(m, pool)
+	}
+	return leastLoadedIn(m, 0, m.Chips())
+}
+
+// HotColdAffinity pins hot-stream pools (marked by the FTL through
+// Manager.MarkHotPools) to a prefix subset of the chips and routes every
+// other pool to the remaining chips, so cold and GC traffic does not
+// queue behind hot host writes on the same chip. Within each subset the
+// earliest-free chip wins (lowest index without a clock view); a drained
+// or empty subset widens to all chips rather than failing, so the policy
+// never strands free space. At Chips=1 every subset is chip 0 and the
+// policy is bit-identical to Striped.
+type HotColdAffinity struct {
+	// HotChips is how many chips (the prefix [0, HotChips)) serve the
+	// hot-stream pools; the rest serve cold pools. Zero defaults to half
+	// the device's chips, minimum one; values beyond the chip count
+	// clamp, leaving no cold subset (cold pools then use all chips).
+	HotChips int
+}
+
+// Name implements DispatchPolicy.
+func (HotColdAffinity) Name() string { return "hotcold-affinity" }
+
+// PickChip implements DispatchPolicy.
+func (h HotColdAffinity) PickChip(m *Manager, pool int) int {
+	chips := m.Chips()
+	hot := h.HotChips
+	if hot <= 0 {
+		hot = chips / 2
+		if hot < 1 {
+			hot = 1
+		}
+	}
+	if hot > chips {
+		hot = chips
+	}
+	lo, hi := 0, hot
+	if !m.PoolHot(pool) {
+		lo, hi = hot, chips
+	}
+	if lo >= hi { // no cold chips left (HotChips covers the device)
+		lo, hi = 0, chips
+	}
+	if chip := leastLoadedIn(m, lo, hi); chip >= 0 {
+		return chip
+	}
+	return leastLoadedIn(m, 0, chips) // subset drained: widen
+}
+
+// leastLoadedIn returns the chip in [lo, hi) with free blocks whose
+// service clock frees earliest, ties to the lowest index; without a
+// clock view the lowest-indexed chip with free blocks wins. Returns -1
+// when every chip of the range is drained. It consumes only the
+// exported Manager surface, so out-of-package policies can replicate it.
+func leastLoadedIn(m *Manager, lo, hi int) int {
+	clock := m.Clock()
+	best := -1
+	var bestFree time.Duration
+	for c := lo; c < hi; c++ {
+		if m.FreeBlocksOnChip(c) == 0 {
+			continue
+		}
+		if clock == nil {
+			return c
+		}
+		if f := clock.ChipFree(c); best < 0 || f < bestFree {
+			best, bestFree = c, f
+		}
+	}
+	return best
+}
+
+// DispatchPolicyNames lists the built-in policies in presentation order.
+var DispatchPolicyNames = []string{Striped{}.Name(), LeastLoaded{}.Name(), HotColdAffinity{}.Name()}
+
+// DispatchByName resolves a built-in dispatch policy from its Name()
+// (the spelling RunSpec.Dispatch and flashsim -dispatch accept).
+func DispatchByName(name string) (DispatchPolicy, error) {
+	switch name {
+	case "", Striped{}.Name():
+		return Striped{}, nil
+	case LeastLoaded{}.Name():
+		return LeastLoaded{}, nil
+	case HotColdAffinity{}.Name(), "hotcold":
+		return HotColdAffinity{}, nil
+	default:
+		return nil, fmt.Errorf("vblock: unknown dispatch policy %q (want striped, least-loaded or hotcold-affinity)", name)
+	}
+}

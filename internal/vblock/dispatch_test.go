@@ -1,0 +1,249 @@
+package vblock
+
+import (
+	"testing"
+	"time"
+
+	"ppbflash/internal/nand"
+)
+
+// fakeClock is a ChipClock over a fixed per-chip free-time table.
+type fakeClock []time.Duration
+
+func (c fakeClock) ChipFree(chip int) time.Duration { return c[chip] }
+
+func dispatchManager(t *testing.T, chips, pools int) *Manager {
+	t.Helper()
+	cfg := multiChipConfig(chips)
+	m, err := NewManager(cfg, 1, pools)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestStripedPolicyMatchesDefault: a manager with an explicit Striped
+// policy allocates in exactly the same order as an untouched manager —
+// the policy refactor must not move a single block.
+func TestStripedPolicyMatchesDefault(t *testing.T) {
+	def := dispatchManager(t, 3, 1)
+	explicit := dispatchManager(t, 3, 1)
+	explicit.SetDispatch(Striped{}, fakeClock{0, 0, 0})
+	for i := 0; i < def.cfg.TotalBlocks(); i++ {
+		a, err := def.AllocateFirst(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := explicit.AllocateFirst(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Block != b.Block {
+			t.Fatalf("allocation %d: default block %d, explicit striped block %d", i, a.Block, b.Block)
+		}
+	}
+}
+
+// TestLeastLoadedFollowsClock: allocations land on the chip whose clock
+// frees earliest, ties to the lowest chip index.
+func TestLeastLoadedFollowsClock(t *testing.T) {
+	m := dispatchManager(t, 3, 1)
+	clock := fakeClock{5 * time.Millisecond, time.Millisecond, 3 * time.Millisecond}
+	m.SetDispatch(LeastLoaded{}, clock)
+	perChip := m.cfg.BlocksPerChip
+	vb, err := m.AllocateFirst(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.chipOf(vb.Block), 1; got != want {
+		t.Errorf("first allocation on chip %d, want idlest chip %d", got, want)
+	}
+	// Busy chips stay untouched while the idle chip has free blocks.
+	for i := 1; i < perChip; i++ {
+		vb, err = m.AllocateFirst(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.chipOf(vb.Block) != 1 {
+			t.Fatalf("allocation %d on chip %d, want 1", i, m.chipOf(vb.Block))
+		}
+	}
+	// Chip 1 drained: next best clock is chip 2.
+	vb, err = m.AllocateFirst(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.chipOf(vb.Block), 2; got != want {
+		t.Errorf("post-drain allocation on chip %d, want %d", got, want)
+	}
+	// Equal clocks tie toward the lowest chip index.
+	m2 := dispatchManager(t, 3, 1)
+	m2.SetDispatch(LeastLoaded{}, fakeClock{time.Second, time.Second, time.Second})
+	vb, err = m2.AllocateFirst(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.chipOf(vb.Block); got != 0 {
+		t.Errorf("tied clocks allocated on chip %d, want lowest (0)", got)
+	}
+}
+
+// TestLeastLoadedWithoutClockFallsBackToStriped: no clock view means the
+// policy must behave exactly like Striped, not panic or pick chip 0
+// forever.
+func TestLeastLoadedWithoutClockFallsBackToStriped(t *testing.T) {
+	striped := dispatchManager(t, 3, 1)
+	ll := dispatchManager(t, 3, 1)
+	ll.SetDispatch(LeastLoaded{}, nil)
+	for i := 0; i < 6; i++ {
+		a, err := striped.AllocateFirst(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ll.AllocateFirst(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Block != b.Block {
+			t.Fatalf("allocation %d: striped block %d, clockless least-loaded block %d", i, a.Block, b.Block)
+		}
+	}
+}
+
+// TestHotColdAffinitySplitsChips: hot pools fill the hot chip prefix,
+// cold pools the rest; each side prefers its subset's idlest chip.
+func TestHotColdAffinitySplitsChips(t *testing.T) {
+	m := dispatchManager(t, 4, 2)
+	m.MarkHotPools(0)
+	m.SetDispatch(HotColdAffinity{HotChips: 2}, fakeClock{time.Millisecond, 0, time.Millisecond, 0})
+	hot, err := m.AllocateFirst(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.chipOf(hot.Block); got != 1 {
+		t.Errorf("hot pool allocated on chip %d, want idlest hot chip 1", got)
+	}
+	cold, err := m.AllocateFirst(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.chipOf(cold.Block); got != 3 {
+		t.Errorf("cold pool allocated on chip %d, want idlest cold chip 3", got)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHotColdAffinityWidensWhenSubsetDrained: a drained subset must not
+// strand the other chips' free space — the pool spills across the split.
+func TestHotColdAffinityWidensWhenSubsetDrained(t *testing.T) {
+	m := dispatchManager(t, 2, 2)
+	m.MarkHotPools(0)
+	m.SetDispatch(HotColdAffinity{HotChips: 1}, fakeClock{0, 0})
+	perChip := m.cfg.BlocksPerChip
+	for i := 0; i < perChip; i++ {
+		vb, err := m.AllocateFirst(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.chipOf(vb.Block) != 0 {
+			t.Fatalf("hot allocation %d on chip %d, want 0", i, m.chipOf(vb.Block))
+		}
+	}
+	vb, err := m.AllocateFirst(0) // hot subset drained: widen to chip 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.chipOf(vb.Block); got != 1 {
+		t.Errorf("overflow hot allocation on chip %d, want widened 1", got)
+	}
+}
+
+// TestHotColdAffinityDegeneratesOnOneChip: with a single chip every pool
+// lands on chip 0 — bit-identical to striping by construction.
+func TestHotColdAffinityDegeneratesOnOneChip(t *testing.T) {
+	m, err := NewManager(testConfig(), 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MarkHotPools(0)
+	m.SetDispatch(HotColdAffinity{}, fakeClock{0})
+	for want := 0; want < 3; want++ {
+		pool := want % 2
+		vb, err := m.AllocateFirst(pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(vb.Block) != want {
+			t.Fatalf("allocation %d (pool %d) = block %d, want lowest-first", want, pool, vb.Block)
+		}
+	}
+}
+
+// TestMarkHotPools pins the pool hotness bookkeeping, including the
+// bounds-safety of PoolHot.
+func TestMarkHotPools(t *testing.T) {
+	m := dispatchManager(t, 2, 3)
+	m.MarkHotPools(0, 2)
+	for pool, want := range []bool{true, false, true} {
+		if got := m.PoolHot(pool); got != want {
+			t.Errorf("PoolHot(%d) = %v, want %v", pool, got, want)
+		}
+	}
+	if m.PoolHot(-1) || m.PoolHot(3) {
+		t.Error("out-of-range pools reported hot")
+	}
+}
+
+// TestDispatchByName resolves every built-in policy and rejects unknown
+// names.
+func TestDispatchByName(t *testing.T) {
+	for _, name := range DispatchPolicyNames {
+		p, err := DispatchByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("DispatchByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if p, err := DispatchByName(""); err != nil || p.Name() != "striped" {
+		t.Errorf("empty name = %v, %v; want striped default", p, err)
+	}
+	if p, err := DispatchByName("hotcold"); err != nil || p.Name() != "hotcold-affinity" {
+		t.Errorf("hotcold shorthand = %v, %v", p, err)
+	}
+	if _, err := DispatchByName("nope"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+// TestSetDispatchNilRestoresStriped: nil policy must mean "default", not
+// a nil dereference on the next allocation.
+func TestSetDispatchNilRestoresStriped(t *testing.T) {
+	m := dispatchManager(t, 2, 1)
+	m.SetDispatch(LeastLoaded{}, fakeClock{0, 0})
+	m.SetDispatch(nil, nil)
+	if got := m.Dispatch().Name(); got != "striped" {
+		t.Fatalf("policy after SetDispatch(nil) = %q, want striped", got)
+	}
+	if _, err := m.AllocateFirst(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeviceSatisfiesChipClock pins the structural contract the ftl
+// wiring relies on: both the device and its read-only ClockView satisfy
+// vblock.ChipClock.
+func TestDeviceSatisfiesChipClock(t *testing.T) {
+	dev := nand.MustNewDevice(multiChipConfig(2))
+	var _ ChipClock = dev
+	var _ ChipClock = dev.ClockView()
+	if got := dev.ClockView().Chips(); got != 2 {
+		t.Errorf("ClockView.Chips() = %d, want 2", got)
+	}
+	if got := dev.ClockView().ChipFree(99); got != 0 {
+		t.Errorf("out-of-range ChipFree = %v, want 0", got)
+	}
+}

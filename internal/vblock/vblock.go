@@ -16,11 +16,12 @@
 //     VB 2n+1 allocatable -> block full -> waiting for GC).
 //   - Free blocks are handed out lowest-numbered first ("arranged
 //     according to their original physical block number") within a chip;
-//     on multi-chip devices consecutive allocations rotate round-robin
-//     across the chips, so consecutive host write streams stripe over the
-//     channels and the device's chip-parallel service model can overlap
-//     them. With Chips=1 the rotation degenerates to the original
-//     lowest-numbered-first order.
+//     on multi-chip devices a pluggable DispatchPolicy picks the chip of
+//     each fresh block. The default Striped policy rotates round-robin so
+//     consecutive host write streams stripe over the channels; LeastLoaded
+//     follows the per-chip service clocks to the idlest chip, and
+//     HotColdAffinity pins hot-stream pools to a chip subset. With Chips=1
+//     every policy degenerates to the original lowest-numbered-first order.
 package vblock
 
 import (
@@ -100,12 +101,22 @@ type Manager struct {
 	pendingQ [][]nand.BlockID // FIFO of blocks whose next part is allocatable, per pool
 	fullCnt  int
 
-	// Free pool, striped by chip: one lowest-first heap per chip plus a
-	// round-robin cursor, so consecutive allocations rotate across chips
-	// (channel striping). freeCnt caches the total across heaps.
+	// Free pool, one lowest-first heap per chip. Which chip serves the
+	// next allocation is the dispatch policy's call; nextChip is the
+	// rotation cursor Striped keeps here (policy values are stateless so
+	// they can be shared across runs). freeCnt caches the total across
+	// heaps.
 	free     []blockHeap
 	nextChip int
 	freeCnt  int
+
+	// Dispatch-policy state: the policy consulted on every fresh-block
+	// allocation (never nil; NewManager defaults to Striped), the
+	// optional per-chip clock view clock-aware policies read, and the
+	// FTL-declared hot-stream pools HotColdAffinity pins.
+	policy  DispatchPolicy
+	clock   ChipClock
+	hotPool []bool
 
 	buckets []int32 // victim index: bucket heads by invalid count
 	maxInv  int     // upper bound on the highest occupied bucket
@@ -135,6 +146,8 @@ func NewManager(cfg nand.Config, k, pools int) (*Manager, error) {
 		blocks:   make([]blockInfo, cfg.TotalBlocks()),
 		pendingQ: make([][]nand.BlockID, pools),
 		buckets:  make([]int32, cfg.PagesPerBlock+1),
+		policy:   Striped{},
+		hotPool:  make([]bool, pools),
 	}
 	for i := range m.buckets {
 		m.buckets[i] = nilBlock
@@ -154,6 +167,48 @@ func NewManager(cfg nand.Config, k, pools int) (*Manager, error) {
 
 // chipOf returns the chip owning a flat block id.
 func (m *Manager) chipOf(b nand.BlockID) int { return int(b) / m.cfg.BlocksPerChip }
+
+// SetDispatch installs the chip-dispatch policy consulted by every
+// subsequent AllocateFirst, along with the per-chip clock view
+// clock-aware policies (LeastLoaded, HotColdAffinity) read. A nil policy
+// restores the default Striped rotation; a nil clock degrades
+// clock-aware policies to their striped/lowest-chip fallbacks.
+func (m *Manager) SetDispatch(p DispatchPolicy, clock ChipClock) {
+	if p == nil {
+		p = Striped{}
+	}
+	m.policy = p
+	m.clock = clock
+}
+
+// Dispatch returns the active dispatch policy.
+func (m *Manager) Dispatch() DispatchPolicy { return m.policy }
+
+// Chips returns how many chips the managed device has — the range a
+// custom DispatchPolicy enumerates when picking a chip.
+func (m *Manager) Chips() int { return len(m.free) }
+
+// Clock returns the per-chip clock view installed by SetDispatch (nil
+// when none was given), for custom clock-aware dispatch policies.
+func (m *Manager) Clock() ChipClock { return m.clock }
+
+// MarkHotPools declares which pools carry hot-stream data (host-facing
+// frequently rewritten traffic). FTLs call it once at construction;
+// HotColdAffinity pins these pools to its hot chip subset. Unmarked
+// pools are cold; out-of-range indices are ignored, matching the
+// tolerance of PoolHot and the device's introspection accessors.
+func (m *Manager) MarkHotPools(pools ...int) {
+	for _, p := range pools {
+		if p >= 0 && p < len(m.hotPool) {
+			m.hotPool[p] = true
+		}
+	}
+}
+
+// PoolHot reports whether the pool was marked hot via MarkHotPools.
+func (m *Manager) PoolHot(pool int) bool {
+	return pool >= 0 && pool < len(m.hotPool) && m.hotPool[pool]
+}
 
 // freePush returns a block to its chip's free heap.
 func (m *Manager) freePush(b nand.BlockID) {
@@ -190,8 +245,16 @@ func (m *Manager) vb(b nand.BlockID, part int) VB {
 // FreeBlocks returns how many blocks are in the free pool (all chips).
 func (m *Manager) FreeBlocks() int { return m.freeCnt }
 
-// FreeBlocksOnChip returns how many free blocks the chip holds.
-func (m *Manager) FreeBlocksOnChip(chip int) int { return m.free[chip].Len() }
+// FreeBlocksOnChip returns how many free blocks the chip holds (zero
+// when chip is out of range — bounds-safe like the device's read-only
+// introspection accessors, so custom dispatch policies can probe
+// freely).
+func (m *Manager) FreeBlocksOnChip(chip int) int {
+	if chip < 0 || chip >= len(m.free) {
+		return 0
+	}
+	return m.free[chip].Len()
+}
 
 // FullBlocks returns how many blocks are completely programmed and
 // waiting for GC.
@@ -239,10 +302,11 @@ func (m *Manager) Cursor(b nand.BlockID) int { return m.blocks[b].cursor }
 func (m *Manager) IsFull(b nand.BlockID) bool { return m.blocks[b].phase == phaseFull }
 
 // AllocateFirst takes a free block, assigns it to the pool and returns
-// its slow part 0 VB. Consecutive allocations rotate across chips
-// (channel striping); within a chip the lowest-numbered free block is
-// handed out first. With a single chip this is exactly the original
-// lowest-numbered-first order.
+// its slow part 0 VB. The dispatch policy picks the chip (the default
+// Striped rotates round-robin across chips — channel striping); within a
+// chip the lowest-numbered free block is handed out first. With a single
+// chip every policy degenerates to the original lowest-numbered-first
+// order.
 func (m *Manager) AllocateFirst(pool int) (VB, error) {
 	if err := m.checkPool(pool); err != nil {
 		return VB{}, err
@@ -250,11 +314,12 @@ func (m *Manager) AllocateFirst(pool int) (VB, error) {
 	if m.freeCnt == 0 {
 		return VB{}, ErrNoFreeBlocks
 	}
-	chip := m.nextChip
-	for m.free[chip].Len() == 0 {
-		chip = (chip + 1) % len(m.free)
+	chip := m.policy.PickChip(m, pool)
+	if chip < 0 || chip >= len(m.free) || m.free[chip].Len() == 0 {
+		// "No preference" (or a buggy pick): fall back to the striped
+		// rotation — freeCnt above guarantees a non-empty chip exists.
+		chip = Striped{}.PickChip(m, pool)
 	}
-	m.nextChip = (chip + 1) % len(m.free)
 	b := nand.BlockID(m.free[chip].pop())
 	m.freeCnt--
 	bi := &m.blocks[b]

@@ -165,7 +165,7 @@ func (m *MediaServer) nextRead() trace.Request {
 	// 12% of reads hit file-system metadata (frequently read AND written:
 	// the paper's iron-hot example).
 	if m.rng.Float64() < 0.12 {
-		return trace.Request{Op: trace.OpRead, Offset: m.metaOffset(), Size: 4096}
+		return trace.Request{Op: trace.OpRead, Offset: m.metaOffset(), Size: 4096, Hot: true}
 	}
 	if m.readChunks == 0 {
 		// Start a new streaming session on a Zipf-popular file; most
@@ -193,7 +193,7 @@ func (m *MediaServer) nextWrite() trace.Request {
 	// 30% of writes are small metadata updates (hot-area traffic:
 	// file-system metadata accompanies ingest and is updated throughout).
 	if m.rng.Float64() < 0.3 {
-		return trace.Request{Op: trace.OpWrite, Offset: m.metaOffset(), Size: 4096}
+		return trace.Request{Op: trace.OpWrite, Offset: m.metaOffset(), Size: 4096, Hot: true}
 	}
 	// The rest is bulk ingest, replacing a file sequentially.
 	if !m.ingestActive {

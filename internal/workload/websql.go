@@ -155,7 +155,7 @@ func (w *WebSQL) nextRead() trace.Request {
 	case roll < 0.25:
 		// Hot index/catalog read (iron-hot candidates: read and written
 		// frequently).
-		return trace.Request{Op: trace.OpRead, Offset: w.metaPop.draw() * page, Size: uint32(page / 2)}
+		return trace.Request{Op: trace.OpRead, Offset: w.metaPop.draw() * page, Size: uint32(page / 2), Hot: true}
 	case roll < 0.99 && w.scanChunks == 0:
 		// Zipf-skewed table page read.
 		return trace.Request{Op: trace.OpRead, Offset: w.dataBase + w.dataPop.draw()*page, Size: uint32(page)}
@@ -190,16 +190,18 @@ func (w *WebSQL) nextWrite() trace.Request {
 	switch {
 	case roll < 0.20:
 		// Index/catalog update.
-		return trace.Request{Op: trace.OpWrite, Offset: w.metaPop.draw() * page, Size: uint32(page / 2)}
+		return trace.Request{Op: trace.OpWrite, Offset: w.metaPop.draw() * page, Size: uint32(page / 2), Hot: true}
 	case roll < 0.45:
-		// Redo-log append: sequential small writes, wrapping.
+		// Redo-log append: sequential small writes, wrapping. The log
+		// region is rewritten on every wrap — a hot stream even though
+		// individual offsets recur only per cycle.
 		size := uint64(4 << 10)
 		off := w.logBase + w.logPos
 		w.logPos += size
 		if w.logBase+w.logPos+size > w.dataBase {
 			w.logPos = 0
 		}
-		return trace.Request{Op: trace.OpWrite, Offset: off, Size: uint32(size)}
+		return trace.Request{Op: trace.OpWrite, Offset: off, Size: uint32(size), Hot: true}
 	default:
 		// Skewed table page update.
 		return trace.Request{Op: trace.OpWrite, Offset: w.dataBase + w.dataPop.draw()*page, Size: uint32(page)}

@@ -273,3 +273,44 @@ func TestGeneratorsRespectLogicalBounds(t *testing.T) {
 		})
 	}
 }
+
+// TestGeneratorsTagHotStreams: both paper traces annotate their
+// hot-stream requests (metadata, index/catalog, redo log) with the
+// advisory Request.Hot tag — a meaningful but minority share — and every
+// tagged request falls inside the generator's hot regions. The tag is
+// the placement ground truth dispatch/affinity experiments and
+// identifier tests compare against.
+func TestGeneratorsTagHotStreams(t *testing.T) {
+	t.Run("websql", func(t *testing.T) {
+		w := NewWebSQL(WebSQLConfig{LogicalBytes: 64 << 20, Requests: 20000, Seed: 11})
+		reqs := Collect(w)
+		st := trace.Summarize(reqs)
+		if st.HotTagged == 0 {
+			t.Fatal("websql tagged no hot-stream requests")
+		}
+		if st.HotTagged >= st.Requests/2 {
+			t.Errorf("websql tagged %d of %d requests hot; the hot stream must be a minority", st.HotTagged, st.Requests)
+		}
+		for i, r := range reqs {
+			if r.Hot && r.End() > w.dataBase {
+				t.Fatalf("request %d tagged hot but outside meta/log regions: %+v (dataBase %d)", i, r, w.dataBase)
+			}
+		}
+	})
+	t.Run("mediaserver", func(t *testing.T) {
+		m := NewMediaServer(MediaConfig{LogicalBytes: 64 << 20, Requests: 20000, Seed: 11})
+		reqs := Collect(m)
+		st := trace.Summarize(reqs)
+		if st.HotTagged == 0 {
+			t.Fatal("mediaserver tagged no hot-stream requests")
+		}
+		if st.HotTagged >= st.Requests/2 {
+			t.Errorf("mediaserver tagged %d of %d requests hot; the hot stream must be a minority", st.HotTagged, st.Requests)
+		}
+		for i, r := range reqs {
+			if r.Hot && r.End() > m.fileBase {
+				t.Fatalf("request %d tagged hot but outside the metadata region: %+v (fileBase %d)", i, r, m.fileBase)
+			}
+		}
+	})
+}

@@ -33,6 +33,7 @@ import (
 	"ppbflash/internal/metrics"
 	"ppbflash/internal/nand"
 	"ppbflash/internal/trace"
+	"ppbflash/internal/vblock"
 	"ppbflash/internal/workload"
 )
 
@@ -88,6 +89,30 @@ func NewGreedySpeed(dev *Device, opts FTLOptions, ident Identifier) (*GreedySpee
 func NewHotColdSplit(dev *Device, opts FTLOptions, ident Identifier) (*HotColdSplit, error) {
 	return ftl.NewHotColdSplit(dev, opts, ident)
 }
+
+// Chip-dispatch policies (internal/vblock): where fresh blocks — and
+// with them every write stream — land on a multi-chip device.
+type (
+	// DispatchPolicy selects the chip of every fresh block allocation.
+	DispatchPolicy = vblock.DispatchPolicy
+	// Striped is the default round-robin channel striping.
+	Striped = vblock.Striped
+	// LeastLoaded opens fresh blocks on the chip whose service clock
+	// frees earliest.
+	LeastLoaded = vblock.LeastLoaded
+	// HotColdAffinity pins hot-stream pools to a chip subset so cold GC
+	// traffic does not queue behind hot host writes.
+	HotColdAffinity = vblock.HotColdAffinity
+)
+
+// DispatchByName resolves a built-in dispatch policy from its name
+// ("striped", "least-loaded", "hotcold-affinity") — the spelling
+// RunSpec.Dispatch and flashsim -dispatch accept.
+func DispatchByName(name string) (DispatchPolicy, error) { return vblock.DispatchByName(name) }
+
+// DispatchPolicyNames lists the built-in dispatch policies in
+// presentation order (the a6 sweep's policy axis).
+var DispatchPolicyNames = vblock.DispatchPolicyNames
 
 // The PPB strategy (internal/core).
 type (
@@ -240,8 +265,8 @@ func ReplayQueued(f FTL, gen Generator, m *ReplayMetrics, opts ReplayOptions) er
 func NewReplayMetrics() *ReplayMetrics { return harness.NewReplayMetrics() }
 
 // Experiment runs one of the paper's experiments by ID ("12".."18" for
-// figures, "3" for the motivation study, "a1".."a5" for ablations, the
-// chip-parallel sweep and the queue-depth sweep).
+// figures, "3" for the motivation study, "a1".."a6" for ablations, the
+// chip-parallel, queue-depth and dispatch-policy sweeps).
 func Experiment(id string, s Scale) (*FigureResult, error) {
 	fn, ok := harness.Experiments[id]
 	if !ok {
@@ -265,5 +290,5 @@ type unknownExperimentError string
 func errUnknownExperiment(id string) error { return unknownExperimentError(id) }
 
 func (e unknownExperimentError) Error() string {
-	return "ppbflash: unknown experiment " + string(e) + " (want one of 3, 12-18, a1-a5)"
+	return "ppbflash: unknown experiment " + string(e) + " (want one of 3, 12-18, a1-a6)"
 }
