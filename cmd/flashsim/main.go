@@ -8,6 +8,7 @@
 //	flashsim -ftl ppb -trace websql.csv [-format msr] [-gb 4] \
 //	         [-ratio 2] [-pagesize 16384] [-chips N] [-qd N] [-openloop] \
 //	         [-dispatch striped|least-loaded|hotcold-affinity] \
+//	         [-dependency causal|legacy] [-defer-erases] \
 //	         [-prefill] [-parallel N]
 //
 // -ftl accepts a comma-separated list (e.g. -ftl conventional,ppb); the
@@ -22,6 +23,13 @@
 // multi-chip devices (-chips > 1): round-robin striping (default), the
 // earliest-free chip by the device clocks, or hot-stream pools pinned to
 // a chip subset.
+//
+// -dependency picks the GC scheduling model: "causal" (default — each
+// relocation's program waits for its source read, the victim erase for
+// the last relocation) or "legacy" (the unchained booking).
+// -defer-erases parks GC erases on busy chips in a per-chip deferred
+// queue, committed when the chip idles, instead of head-of-line blocking
+// host reads.
 package main
 
 import (
@@ -44,6 +52,8 @@ func main() {
 		pageSize = flag.Int("pagesize", 16<<10, "page size in bytes")
 		chips    = flag.Int("chips", 1, "flash chips sharing the capacity (chip-parallel service)")
 		dispatch = flag.String("dispatch", "striped", "chip-dispatch policy: striped, least-loaded or hotcold-affinity")
+		depModel = flag.String("dependency", "causal", "GC dependency model: causal or legacy")
+		deferE   = flag.Bool("defer-erases", false, "defer GC erases on busy chips to their next idle gap")
 		qd       = flag.Int("qd", 1, "host queue depth: outstanding requests during replay")
 		openloop = flag.Bool("openloop", false, "issue requests at their trace arrival times (open loop)")
 		prefill  = flag.Bool("prefill", true, "write the whole logical space before replay")
@@ -94,13 +104,15 @@ func main() {
 			continue
 		}
 		specs = append(specs, ppbflash.RunSpec{
-			Name:       *path + "/" + name,
-			Device:     cfg,
-			Kind:       ppbflash.FTLKind(name),
-			Prefill:    *prefill,
-			QueueDepth: *qd,
-			OpenLoop:   *openloop,
-			Dispatch:   *dispatch,
+			Name:        *path + "/" + name,
+			Device:      cfg,
+			Kind:        ppbflash.FTLKind(name),
+			Prefill:     *prefill,
+			QueueDepth:  *qd,
+			OpenLoop:    *openloop,
+			Dispatch:    *dispatch,
+			Dependency:  *depModel,
+			DeferErases: *deferE,
 			Workload: func(logicalBytes uint64) ppbflash.Generator {
 				return replayGenerator(reqs, logicalBytes)
 			},
@@ -125,8 +137,12 @@ func main() {
 		if *openloop {
 			mode = fmt.Sprintf("open loop, QD cap %d", *qd)
 		}
-		fmt.Printf("device: %.1f GiB, %d KB pages, ratio %.0fx, %d chip(s), %s dispatch, %s FTL, %s\n",
-			float64(cfg.TotalBytes())/(1<<30), cfg.PageSize>>10, cfg.SpeedRatio, cfg.Chips, *dispatch, specs[i].Kind, mode)
+		sched := *depModel + " deps"
+		if *deferE {
+			sched += ", deferred erases"
+		}
+		fmt.Printf("device: %.1f GiB, %d KB pages, ratio %.0fx, %d chip(s), %s dispatch, %s, %s FTL, %s\n",
+			float64(cfg.TotalBytes())/(1<<30), cfg.PageSize>>10, cfg.SpeedRatio, cfg.Chips, *dispatch, sched, specs[i].Kind, mode)
 		fmt.Printf("host:   %d page reads (%d unmapped), %d page writes\n",
 			res.HostReadPages, res.UnmappedReads, res.HostWritePage)
 		fmt.Printf("time:   read total %v, write total %v, makespan %v\n", res.ReadTotal, res.WriteTotal, res.Makespan)

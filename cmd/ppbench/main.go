@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ppbench [-fig all|3|12|13|14|15|16|17|18|a1|a2|a3|a4|a5|a6] [-scale quick|bench|paper]
+//	ppbench [-fig all|3|12|13|14|15|16|17|18|a1|a2|a3|a4|a5|a6|a7] [-scale quick|bench|paper]
 //	        [-divisor N] [-turnover F] [-seed N] [-parallel N]
 //	        [-json] [-out BENCH_1.json]
 //
@@ -60,7 +60,7 @@ type figureEntry struct {
 
 func main() {
 	var (
-		figFlag      = flag.String("fig", "all", "experiment id (3, 12-18, a1-a6) or 'all'")
+		figFlag      = flag.String("fig", "all", "experiment id (3, 12-18, a1-a7) or 'all'")
 		scaleFlag    = flag.String("scale", "bench", "preset scale: quick, bench or paper")
 		divisorFlag  = flag.Int("divisor", 0, "override device divisor (1 = full 64 GB)")
 		turnoverFlag = flag.Float64("turnover", 0, "override write turnover multiple")

@@ -19,8 +19,14 @@ type Base struct {
 	// vbm is the strategy's virtual-block manager; invalidations and GC
 	// victim picks go through it so its victim index stays current.
 	vbm *vblock.Manager
-	// gcDeferred is collectBlock's reusable fast-first scratch.
-	gcDeferred []int
+	// gcDeferred is collectBlock's reusable fast-first scratch;
+	// gcCollecting marks a collection in flight so a nested collection
+	// (re-entered through a reprogram callback) detaches its scratch
+	// instead of clobbering the slice the outer pass still ranges.
+	gcDeferred   []int
+	gcCollecting bool
+	// causal mirrors opts.Dependency == DepCausal for the GC hot path.
+	causal bool
 }
 
 // NewBase validates the options and builds the shared state for an FTL
@@ -41,12 +47,16 @@ func NewBase(dev *nand.Device, vbm *vblock.Manager, opts Options) (Base, error) 
 		return Base{}, fmt.Errorf("ftl: NewBase requires a vblock manager")
 	}
 	vbm.SetDispatch(opts.Dispatch, dev.ClockView())
+	if opts.DeferErases {
+		dev.SetEraseDeferral(opts.EraseDeferWindow)
+	}
 	logical := LogicalPagesFor(cfg, opts.OverProvision)
 	if logical == 0 {
 		return Base{}, fmt.Errorf("ftl: no logical space (over-provision %g on %d pages)",
 			opts.OverProvision, cfg.TotalPages())
 	}
-	return Base{dev: dev, cfg: cfg, opts: opts, table: NewMapping(logical), vbm: vbm}, nil
+	return Base{dev: dev, cfg: cfg, opts: opts, table: NewMapping(logical), vbm: vbm,
+		causal: opts.Dependency == DepCausal}, nil
 }
 
 // Stats implements FTL.

@@ -74,6 +74,15 @@ func (b *Base) GCLoopOrdered(exclude func(nand.BlockID) bool,
 // collectBlock relocates the victim's valid pages (optionally in two
 // passes ordered by fastFirst), erases it and returns it to the free
 // pool, charging all device time to GC.
+//
+// Under the causal dependency model (Options.Dependency) each
+// relocation is a read -> program chain: the copy's program is armed
+// (nand.Device.After) behind its source read's completion, and the
+// victim erase behind the last relocation's program — so a cross-chip
+// copy can no longer program data before that data was read, and the
+// block is not erased before its contents are safe elsewhere. On a
+// single chip every op serializes on one clock and the floors are
+// inert, keeping Chips=1 timelines bit-identical.
 func (b *Base) collectBlock(victim nand.BlockID,
 	reprogram ReprogramFunc, fastFirst func(nand.OOB) bool) error {
 	vbm := b.vbm
@@ -87,15 +96,24 @@ func (b *Base) collectBlock(victim nand.BlockID,
 			poolIdx = len(b.stats.GCPoolErases) - 1
 		}
 	}
+	var lastReloc time.Duration // latest relocation finish (causal erase floor)
 	relocate := func(page int) error {
 		ppn := b.cfg.PPNForBlockPage(victim, page)
 		oob, readCost, err := b.dev.Read(ppn)
 		if err != nil {
 			return err
 		}
+		if b.causal {
+			b.dev.After(b.dev.LastFinish()) // program waits for its source read
+		}
 		progCost, newPPN, err := reprogram(oob)
 		if err != nil {
 			return err
+		}
+		if b.causal {
+			if fin := b.dev.LastFinish(); fin > lastReloc {
+				lastReloc = fin
+			}
 		}
 		b.table.Set(oob.LPN, newPPN)
 		if err := b.Invalidate(ppn); err != nil {
@@ -108,8 +126,17 @@ func (b *Base) collectBlock(victim nand.BlockID,
 	}
 	// The deferred-page scratch lives on the Base and is reused across
 	// collections: GC runs millions of times per replay and must not
-	// allocate per collected block.
+	// allocate per collected block. A nested collection (re-entered
+	// through reprogram) detaches instead — sharing the backing array
+	// while the outer pass still appends to or ranges it would silently
+	// corrupt the outer victim's page list.
+	nested := b.gcCollecting
+	b.gcCollecting = true
+	defer func() { b.gcCollecting = nested }()
 	deferred := b.gcDeferred[:0]
+	if nested {
+		deferred = nil
+	}
 	for page := 0; page < b.cfg.PagesPerBlock; page++ {
 		ppn := b.cfg.PPNForBlockPage(victim, page)
 		if b.dev.State(ppn) != nand.PageValid {
@@ -120,15 +147,22 @@ func (b *Base) collectBlock(victim nand.BlockID,
 			continue
 		}
 		if err := relocate(page); err != nil {
-			b.gcDeferred = deferred[:0]
 			return err
 		}
 	}
-	b.gcDeferred = deferred[:0]
+	if !nested {
+		// Hand the (possibly grown) array back before the second pass;
+		// any collection nested under it detaches, so the range below
+		// cannot be clobbered.
+		b.gcDeferred = deferred[:0]
+	}
 	for _, page := range deferred {
 		if err := relocate(page); err != nil {
 			return err
 		}
+	}
+	if b.causal && lastReloc > 0 {
+		b.dev.After(lastReloc) // erase waits for the last relocation
 	}
 	eraseCost, err := b.dev.Erase(victim)
 	if err != nil {

@@ -68,6 +68,17 @@ type RunSpec struct {
 	// Empty leaves FTLOptions.Dispatch in charge (nil there = striped);
 	// a non-empty name overrides it. See vblock.DispatchByName.
 	Dispatch string
+	// Dependency names the GC dependency model: "causal" (the default —
+	// each relocation's program waits for its source read, the victim
+	// erase for the last relocation) or "legacy" (the unchained PR 2–4
+	// booking). Empty leaves FTLOptions.Dependency in charge (zero
+	// there = causal). See ftl.DependencyByName.
+	Dependency string
+	// DeferErases enables policy-aware erase scheduling: GC erases on a
+	// busy chip wait in the device's deferred queue (later host ops go
+	// first) and commit at the next idle gap, bounded by the FTL's
+	// erase-deferral window. Mirrors FTLOptions.DeferErases.
+	DeferErases bool
 }
 
 // Result carries the measurements of one run.
@@ -134,6 +145,16 @@ func buildFTL(spec RunSpec, dev *nand.Device) (ftl.FTL, error) {
 			return nil, err
 		}
 		spec.FTLOptions.Dispatch = policy
+	}
+	if spec.Dependency != "" {
+		dep, err := ftl.DependencyByName(spec.Dependency)
+		if err != nil {
+			return nil, err
+		}
+		spec.FTLOptions.Dependency = dep
+	}
+	if spec.DeferErases {
+		spec.FTLOptions.DeferErases = true
 	}
 	switch spec.Kind {
 	case KindConventional:
@@ -403,6 +424,7 @@ func ReplayQueued(f ftl.FTL, gen workload.Generator, m *ReplayMetrics, opts Repl
 		for {
 			r, ok := gen.Next()
 			if !ok {
+				dev.FlushDeferredErases()
 				return nil
 			}
 			if err := issueRequest(f, r, pageSize); err != nil {
@@ -464,10 +486,13 @@ func ReplayQueued(f ftl.FTL, gen workload.Generator, m *ReplayMetrics, opts Repl
 		pending.Push(fin)
 	}
 	// Drain: the host clock ends at the last outstanding completion, the
-	// same instant the classic queue-depth-1 loop always ended on.
+	// same instant the classic queue-depth-1 loop always ended on. Any
+	// erases still parked in the deferred queues are committed so the
+	// makespan accounts for them (no-op unless erase deferral is on).
 	for pending.Len() > 0 {
 		dev.AdvanceTo(pending.PopMin())
 	}
+	dev.FlushDeferredErases()
 	return nil
 }
 

@@ -74,8 +74,14 @@ func TestAccessorsOutOfRange(t *testing.T) {
 	}
 }
 
-// TestEarliestChipFree: the probe tracks the least-loaded chip's clock.
+// TestEarliestChipFree: the probe tracks the least-loaded chip's clock,
+// and — like every other read-only introspection accessor — degrades to
+// zero on a device with no chip clocks instead of indexing chipFree[0]
+// unguarded.
 func TestEarliestChipFree(t *testing.T) {
+	if got := (&Device{}).EarliestChipFree(); got != 0 {
+		t.Errorf("zero-value device earliest free = %v, want 0", got)
+	}
 	cfg := twoChipConfig()
 	d := MustNewDevice(cfg)
 	if got := d.EarliestChipFree(); got != 0 {

@@ -92,10 +92,27 @@ type DeviceStats struct {
 // independent of the scheduling model, and with Chips=1 the makespan
 // degenerates to the serial sum of all costs.
 //
-// The model is service-time, not event-driven: dependencies between ops
-// of one burst (e.g. a GC copy's program on chip B after its read on
-// chip A) are not chained — both queue at issue time on their own chips.
-// This keeps replay single-pass and deterministic.
+// # Op-level dependencies
+//
+// The model stays service-time (single-pass, deterministic) but supports
+// explicit dependency chaining: After(t) arms a ready-time floor for the
+// next scheduled operation, so a GC relocation's program on chip B can
+// be held until its source read on chip A completes, and the victim
+// erase until the last relocation lands (see ftl.Options.Dependency).
+// Without a floor an op starts at max(Now, chip free) exactly as before;
+// on a single chip the floor is always dominated by the chip clock, so
+// Chips=1 timelines are bit-identical with or without chaining.
+//
+// # Deferred erases
+//
+// SetEraseDeferral arms a per-chip deferred-erase queue: an erase issued
+// while its chip is busy does not occupy the chip immediately — later
+// host operations are scheduled ahead of it — and is committed when the
+// chip next goes idle, when its deferral deadline passes, or when an
+// operation targets the (already reallocated) block, whichever comes
+// first. Block contents, stats and the returned cost are unaffected;
+// only the time booking moves. FlushDeferredErases commits everything
+// still pending (the harness calls it before reading the makespan).
 type Device struct {
 	cfg     Config
 	blocks  []blockState
@@ -111,10 +128,18 @@ type Device struct {
 
 	// Service-time clocks (see the type comment). now is the host issue
 	// time of the next operation; chipFree[c] is when chip c finishes its
-	// queued work; lastFinish is the completion time of the most recent op.
+	// queued work; lastStart/lastFinish bracket the most recent op;
+	// nextReady is the one-shot ready-time floor armed by After.
 	now        time.Duration
 	chipFree   []time.Duration
+	lastStart  time.Duration
 	lastFinish time.Duration
+	nextReady  time.Duration
+
+	// Deferred-erase state (see SetEraseDeferral): deferWindow > 0
+	// enables deferral, deferred[c] is chip c's FIFO of pending erases.
+	deferWindow time.Duration
+	deferred    [][]deferredErase
 
 	// Burst window (see BeginBurst): the ops scheduled since the last
 	// BeginBurst call, their earliest start and latest finish. The harness
@@ -162,17 +187,39 @@ func (d *Device) Config() Config { return d.cfg }
 // Stats returns a snapshot pointer of the device activity counters.
 func (d *Device) Stats() *DeviceStats { return &d.stats }
 
-// schedule books cost on the chip owning block b: the op starts when both
-// the host has issued it (now) and the chip is free, and occupies the chip
-// until its finish time. Returns the completion time.
+// deferredErase is one erase waiting in a chip's deferred queue: its
+// block (an operation on the reallocated block forces the commit), its
+// time cost, the earliest moment it may start (arm: its issue time plus
+// any dependency floor) and the deadline by which it must be committed.
+type deferredErase struct {
+	block    BlockID
+	cost     time.Duration
+	arm      time.Duration
+	deadline time.Duration
+}
+
+// schedule books cost on the chip owning block b: the op starts when the
+// host has issued it (now), any armed ready-time floor has passed
+// (After), and the chip is free — deferred erases eligible to commit on
+// that chip are booked first. The op occupies the chip until its finish
+// time, which is returned.
 func (d *Device) schedule(b BlockID, cost time.Duration) time.Duration {
 	chip := int(b) / d.cfg.BlocksPerChip
-	start := d.now
+	issue := d.now
+	if d.nextReady > issue {
+		issue = d.nextReady
+	}
+	d.nextReady = 0
+	if d.deferred != nil && len(d.deferred[chip]) > 0 {
+		d.commitEligible(chip, issue, b)
+	}
+	start := issue
 	if free := d.chipFree[chip]; free > start {
 		start = free
 	}
 	fin := start + cost
 	d.chipFree[chip] = fin
+	d.lastStart = start
 	d.lastFinish = fin
 	if d.burstOps == 0 || start < d.burstStart {
 		d.burstStart = start
@@ -182,6 +229,106 @@ func (d *Device) schedule(b BlockID, cost time.Duration) time.Duration {
 	}
 	d.burstOps++
 	return fin
+}
+
+// commitEligible books the chip's deferred erases that can no longer
+// wait behind an operation issued at issue targeting block b, in FIFO
+// order. An erase commits when the chip has an idle gap before the
+// incoming op AND the erase was already ready to run (arm <= issue: the
+// chip drained its queue while the erase was armed, so the controller
+// started it — an erase still waiting on its relocation chain must not
+// jump ahead of an op issued before it became ready), when its deadline
+// would pass before the op starts, or when the op targets its
+// (reallocated) block — programming a block before its erase is booked
+// would violate causality. A committed erase starts at max(chip free,
+// its arm time).
+func (d *Device) commitEligible(chip int, issue time.Duration, b BlockID) {
+	q := d.deferred[chip]
+	must := -1
+	for i := range q {
+		if q[i].block == b {
+			must = i
+		}
+	}
+	n := 0
+	for n < len(q) {
+		e := q[n]
+		opStart := issue
+		if d.chipFree[chip] > opStart {
+			opStart = d.chipFree[chip]
+		}
+		idleCommit := issue > d.chipFree[chip] && e.arm <= issue
+		if n > must && !idleCommit && e.deadline > opStart {
+			break
+		}
+		start := d.chipFree[chip]
+		if e.arm > start {
+			start = e.arm
+		}
+		d.chipFree[chip] = start + e.cost
+		n++
+	}
+	if n > 0 {
+		d.deferred[chip] = q[:copy(q, q[n:])]
+	}
+}
+
+// After arms a ready-time floor for the next scheduled operation: it
+// starts no earlier than t, in addition to the usual issue-clock and
+// chip-free gating. The floor applies to exactly one operation and is
+// consumed when it schedules (a deferred erase consumes it at deferral
+// time). This is the dependency hook GC relocation chains use: read the
+// source page, After(LastFinish()), then program the copy — the program
+// cannot start before its data exists. On a single chip the source
+// read's finish never exceeds the chip-free clock, so the floor is inert
+// and Chips=1 timelines stay bit-identical.
+func (d *Device) After(t time.Duration) {
+	if t > d.nextReady {
+		d.nextReady = t
+	}
+}
+
+// SetEraseDeferral enables (window > 0) or disables (0) deferred-erase
+// scheduling: erases wait in a per-chip queue instead of occupying the
+// chip (and the issuing request's burst) right away, and commit at the
+// chip's next idle gap, at latest window after issue, or as soon as an
+// operation targets the reallocated block. Deferral moves only the time
+// booking — contents are erased and stats counted immediately — so
+// space accounting never lies.
+func (d *Device) SetEraseDeferral(window time.Duration) {
+	d.deferWindow = window
+	if window > 0 && d.deferred == nil {
+		d.deferred = make([][]deferredErase, d.cfg.Chips)
+	}
+}
+
+// EraseDeferral returns the deferral window (zero when disabled).
+func (d *Device) EraseDeferral() time.Duration { return d.deferWindow }
+
+// DeferredErases returns how many erases are waiting in the per-chip
+// deferred queues (zero when deferral is disabled or all committed).
+func (d *Device) DeferredErases() int {
+	n := 0
+	for _, q := range d.deferred {
+		n += len(q)
+	}
+	return n
+}
+
+// FlushDeferredErases commits every pending deferred erase at its chip's
+// current free time. The harness calls it when a replay drains, so the
+// makespan accounts for erase work that never found an idle gap.
+func (d *Device) FlushDeferredErases() {
+	for chip := range d.deferred {
+		for _, e := range d.deferred[chip] {
+			start := d.chipFree[chip]
+			if e.arm > start {
+				start = e.arm
+			}
+			d.chipFree[chip] = start + e.cost
+		}
+		d.deferred[chip] = d.deferred[chip][:0]
+	}
 }
 
 // Now returns the host issue clock of the service-time model.
@@ -199,8 +346,16 @@ func (d *Device) AdvanceTo(t time.Duration) {
 // LastFinish returns the completion time of the most recently scheduled
 // operation. It is not monotonic across chips: an op on an idle chip can
 // finish before earlier ops queued on a busy one, so request-completion
-// latency must come from Makespan(), not from this probe.
+// latency must come from Makespan(), not from this probe. GC dependency
+// chains read it right after scheduling an op to learn the completion
+// the next op must wait for (see After).
 func (d *Device) LastFinish() time.Duration { return d.lastFinish }
+
+// LastStart returns the start time of the most recently scheduled
+// operation — the moment its chip actually began it, after issue-clock,
+// ready-floor and chip-queue gating. Tests use it to verify dependency
+// ordering (an op's start never precedes its predecessor's finish).
+func (d *Device) LastStart() time.Duration { return d.lastStart }
 
 // Makespan returns the simulated time at which every chip has drained its
 // queued work — the end-to-end service time of everything issued so far.
@@ -228,11 +383,12 @@ func (d *Device) ChipFree(chip int) time.Duration {
 // moment the least-loaded chip can start new work. The host queueing
 // model advances its clock from request completions alone; dispatch
 // policies that follow the chip clocks consume them through ClockView
-// instead.
+// instead. A device with no chips (the zero value) reports zero, like
+// the other read-only introspection accessors.
 func (d *Device) EarliestChipFree() time.Duration {
-	min := d.chipFree[0]
-	for _, f := range d.chipFree[1:] {
-		if f < min {
+	var min time.Duration
+	for i, f := range d.chipFree {
+		if i == 0 || f < min {
 			min = f
 		}
 	}
@@ -292,12 +448,20 @@ func (d *Device) BurstFinish() time.Duration {
 // measure the trace, not the prefill.
 func (d *Device) ResetClocks() {
 	d.now = 0
+	d.lastStart = 0
 	d.lastFinish = 0
+	d.nextReady = 0
 	d.burstOps = 0
 	d.burstStart = 0
 	d.burstFin = 0
 	for i := range d.chipFree {
 		d.chipFree[i] = 0
+	}
+	// Pending deferred erases belong to the discarded timeline (their
+	// contents were erased at issue time); booking them into the fresh
+	// window would charge prefill work to the measured trace.
+	for i := range d.deferred {
+		d.deferred[i] = d.deferred[i][:0]
 	}
 }
 
@@ -420,7 +584,26 @@ func (d *Device) eraseBlock(b BlockID, blk *blockState) time.Duration {
 	blk.validPages = 0
 	blk.invalid = 0
 	blk.eraseCount++
-	d.schedule(b, d.cfg.EraseLatency)
+	chip := int(b) / d.cfg.BlocksPerChip
+	if d.deferWindow > 0 {
+		// Park the erase in the chip's deferred queue instead of booking
+		// it (and the current burst) right away: later host operations
+		// are scheduled ahead of it until the chip next idles, the
+		// deadline passes, or the reallocated block is touched. The
+		// armed ready floor (the relocation chain's last finish) is
+		// folded into the arm time and consumed here, so a committed
+		// erase still never starts before its relocations landed.
+		arm := d.now
+		if d.nextReady > arm {
+			arm = d.nextReady
+		}
+		d.nextReady = 0
+		d.deferred[chip] = append(d.deferred[chip], deferredErase{
+			block: b, cost: d.cfg.EraseLatency, arm: arm, deadline: arm + d.deferWindow,
+		})
+	} else {
+		d.schedule(b, d.cfg.EraseLatency)
+	}
 	d.stats.Erases.Inc()
 	d.stats.EraseTime.Observe(d.cfg.EraseLatency)
 	return d.cfg.EraseLatency

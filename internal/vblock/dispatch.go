@@ -44,14 +44,20 @@ type Striped struct{}
 // Name implements DispatchPolicy.
 func (Striped) Name() string { return "striped" }
 
-// PickChip implements DispatchPolicy.
+// PickChip implements DispatchPolicy. The rotation is bounded to one
+// full lap: when every chip's free pool is drained (a contract
+// violation — PickChip runs with at least one free block somewhere) it
+// returns -1 ("no preference") instead of spinning forever, and the
+// manager turns that into a loud allocation error.
 func (Striped) PickChip(m *Manager, _ int) int {
-	chip := m.nextChip
-	for m.free[chip].Len() == 0 {
-		chip = (chip + 1) % len(m.free)
+	for i := 0; i < len(m.free); i++ {
+		chip := (m.nextChip + i) % len(m.free)
+		if m.free[chip].Len() > 0 {
+			m.nextChip = (chip + 1) % len(m.free)
+			return chip
+		}
 	}
-	m.nextChip = (chip + 1) % len(m.free)
-	return chip
+	return -1
 }
 
 // LeastLoaded allocates each fresh block on the chip whose service clock

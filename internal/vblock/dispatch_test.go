@@ -1,6 +1,8 @@
 package vblock
 
 import (
+	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -245,5 +247,34 @@ func TestDeviceSatisfiesChipClock(t *testing.T) {
 	}
 	if got := dev.ClockView().ChipFree(99); got != 0 {
 		t.Errorf("out-of-range ChipFree = %v, want 0", got)
+	}
+}
+
+// TestStripedBoundedOnDrainedPools: Striped.PickChip rotates at most one
+// full lap. With every chip's free pool drained — a contract violation,
+// PickChip is documented to run with at least one free block — it
+// returns -1 ("no preference") instead of spinning forever, and an
+// allocation hitting that state fails loudly instead of hanging the
+// simulation or popping from an empty heap.
+func TestStripedBoundedOnDrainedPools(t *testing.T) {
+	m := dispatchManager(t, 3, 1)
+	for i := 0; i < m.cfg.TotalBlocks(); i++ {
+		if _, err := m.AllocateFirst(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := (Striped{}).PickChip(m, 0); got != -1 {
+		t.Errorf("PickChip on drained pools = %d, want -1", got)
+	}
+	if _, err := m.AllocateFirst(0); !errors.Is(err, ErrNoFreeBlocks) {
+		t.Errorf("AllocateFirst on empty pool = %v, want ErrNoFreeBlocks", err)
+	}
+	// Corrupt the cached free count so AllocateFirst reaches the
+	// dispatch path with genuinely drained heaps: the striped fallback's
+	// -1 must surface as an error, not an infinite rotation.
+	m.freeCnt = 1
+	_, err := m.AllocateFirst(0)
+	if err == nil || !strings.Contains(err.Error(), "free accounting corrupt") {
+		t.Errorf("AllocateFirst with corrupt accounting = %v, want loud corruption error", err)
 	}
 }

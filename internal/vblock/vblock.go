@@ -319,6 +319,13 @@ func (m *Manager) AllocateFirst(pool int) (VB, error) {
 		// "No preference" (or a buggy pick): fall back to the striped
 		// rotation — freeCnt above guarantees a non-empty chip exists.
 		chip = Striped{}.PickChip(m, pool)
+		if chip < 0 {
+			// freeCnt said blocks exist but every heap is empty: the
+			// free accounting is corrupt. Fail loudly rather than pop
+			// from an empty heap (or, before Striped bounded its lap,
+			// hang the simulation).
+			return VB{}, fmt.Errorf("vblock: free accounting corrupt: %d free blocks cached but every chip heap is empty", m.freeCnt)
+		}
 	}
 	b := nand.BlockID(m.free[chip].pop())
 	m.freeCnt--

@@ -63,8 +63,13 @@ func TableOneConfig() DeviceConfig { return nand.TableOneConfig() }
 type (
 	// FTL is the host-visible flash-translation-layer interface.
 	FTL = ftl.FTL
-	// FTLOptions tunes over-provisioning and garbage collection.
+	// FTLOptions tunes over-provisioning, garbage collection, chip
+	// dispatch and the GC scheduling model (dependency chains, erase
+	// deferral).
 	FTLOptions = ftl.Options
+	// DependencyModel selects how GC relocation chains are scheduled on
+	// the device's per-chip clocks (DepCausal or DepLegacy).
+	DependencyModel = ftl.DependencyModel
 	// FTLStats are the shared cost and activity counters of an FTL.
 	FTLStats = ftl.Stats
 	// Conventional is the speed-oblivious baseline FTL.
@@ -74,6 +79,19 @@ type (
 	// HotColdSplit is hot/cold block separation without speed awareness.
 	HotColdSplit = ftl.HotColdSplit
 )
+
+// GC dependency models (FTLOptions.Dependency): causal chains each GC
+// relocation's program behind its source read and the victim erase
+// behind the last relocation; legacy books every op unchained.
+const (
+	DepCausal = ftl.DepCausal
+	DepLegacy = ftl.DepLegacy
+)
+
+// DependencyByName resolves a dependency model from its name ("causal",
+// "legacy") — the spelling RunSpec.Dependency and flashsim -dependency
+// accept.
+func DependencyByName(name string) (DependencyModel, error) { return ftl.DependencyByName(name) }
 
 // NewConventional builds the paper's baseline FTL.
 func NewConventional(dev *Device, opts FTLOptions) (*Conventional, error) {
@@ -265,8 +283,9 @@ func ReplayQueued(f FTL, gen Generator, m *ReplayMetrics, opts ReplayOptions) er
 func NewReplayMetrics() *ReplayMetrics { return harness.NewReplayMetrics() }
 
 // Experiment runs one of the paper's experiments by ID ("12".."18" for
-// figures, "3" for the motivation study, "a1".."a6" for ablations, the
-// chip-parallel, queue-depth and dispatch-policy sweeps).
+// figures, "3" for the motivation study, "a1".."a7" for ablations, the
+// chip-parallel, queue-depth, dispatch-policy and causality/erase-
+// deferral sweeps).
 func Experiment(id string, s Scale) (*FigureResult, error) {
 	fn, ok := harness.Experiments[id]
 	if !ok {
@@ -290,5 +309,5 @@ type unknownExperimentError string
 func errUnknownExperiment(id string) error { return unknownExperimentError(id) }
 
 func (e unknownExperimentError) Error() string {
-	return "ppbflash: unknown experiment " + string(e) + " (want one of 3, 12-18, a1-a6)"
+	return "ppbflash: unknown experiment " + string(e) + " (want one of 3, 12-18, a1-a7)"
 }
