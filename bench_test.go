@@ -166,3 +166,20 @@ func BenchmarkDevicePageOps(b *testing.B) { benchPageOps(b, KindConventional) }
 // BenchmarkDevicePageOps: the per-operation bookkeeping overhead of the
 // four-level identification and virtual-block allocation.
 func BenchmarkPPBPageOps(b *testing.B) { benchPageOps(b, KindPPB) }
+
+// BenchmarkReliabilityPageOps runs the same loop with the layer-aware
+// reliability model injecting read retries (high-BER preset, wear-aware
+// GC) — the retried-read hot path. Like the other page-op benchmarks it
+// must stay at 0 allocs/op: sampling, retry accounting and retirement
+// bookkeeping all run allocation-free.
+func BenchmarkReliabilityPageOps(b *testing.B) {
+	f, err := NewReliabilityPageOpsFTL()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := RunPageOps(f, b.N); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -9,7 +9,8 @@
 //	         [-ratio 2] [-pagesize 16384] [-chips N] [-qd N] [-openloop] \
 //	         [-dispatch striped|least-loaded|hotcold-affinity] \
 //	         [-dependency causal|legacy] [-defer-erases] \
-//	         [-prefill] [-parallel N]
+//	         [-reliability off|low|high] [-wear none|wear-aware|threshold-swap] \
+//	         [-seed N] [-prefill] [-parallel N]
 //
 // -ftl accepts a comma-separated list (e.g. -ftl conventional,ppb); the
 // strategies replay the same trace concurrently on a worker pool.
@@ -30,6 +31,15 @@
 // -defer-erases parks GC erases on busy chips in a per-chip deferred
 // queue, committed when the chip idles, instead of head-of-line blocking
 // host reads.
+//
+// -reliability installs a layer-aware reliability preset: reads sample
+// a per-page raw bit-error rate (layer skew x P/E cycling x retention
+// age) and pay read-retry and ECC-decode latency; error-prone blocks
+// retire. -wear picks the GC wear-leveling policy; -seed drives the
+// fault-injection PRNG (equal seeds inject identical faults).
+//
+// Unknown -ftl, -dispatch, -dependency, -reliability or -wear names are
+// rejected before the trace is loaded, with the list of valid names.
 package main
 
 import (
@@ -54,6 +64,9 @@ func main() {
 		dispatch = flag.String("dispatch", "striped", "chip-dispatch policy: striped, least-loaded or hotcold-affinity")
 		depModel = flag.String("dependency", "causal", "GC dependency model: causal or legacy")
 		deferE   = flag.Bool("defer-erases", false, "defer GC erases on busy chips to their next idle gap")
+		relProf  = flag.String("reliability", "off", "reliability preset: off, low or high")
+		wear     = flag.String("wear", "none", "wear-leveling policy: none, wear-aware or threshold-swap")
+		seed     = flag.Int64("seed", 1, "fault-injection PRNG seed for -reliability")
 		qd       = flag.Int("qd", 1, "host queue depth: outstanding requests during replay")
 		openloop = flag.Bool("openloop", false, "issue requests at their trace arrival times (open loop)")
 		prefill  = flag.Bool("prefill", true, "write the whole logical space before replay")
@@ -64,6 +77,12 @@ func main() {
 	if *path == "" {
 		fmt.Fprintln(os.Stderr, "flashsim: -trace is required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	// Reject bad policy names before the (possibly long) trace load, with
+	// the valid spellings, instead of failing deep inside the run.
+	if err := validateNames(*ftlNames, *dispatch, *depModel, *relProf, *wear); err != nil {
+		fmt.Fprintln(os.Stderr, "flashsim:", err)
 		os.Exit(2)
 	}
 
@@ -113,6 +132,9 @@ func main() {
 			Dispatch:    *dispatch,
 			Dependency:  *depModel,
 			DeferErases: *deferE,
+			Reliability: *relProf,
+			Wear:        *wear,
+			Seed:        *seed,
 			Workload: func(logicalBytes uint64) ppbflash.Generator {
 				return replayGenerator(reqs, logicalBytes)
 			},
@@ -151,12 +173,53 @@ func main() {
 		fmt.Printf("queue:  delay p50/p95/p99 %v/%v/%v\n",
 			res.QueueDelayP50, res.QueueDelayP95, res.QueueDelayP99)
 		fmt.Printf("gc:     %d erases, %d copies, WAF %.2f\n", res.Erases, res.GCCopies, res.WAF)
+		if *relProf != "off" {
+			fmt.Printf("rel:    %s profile, %s wear: retry rate %.4f%% (mean %.2f steps), %d uncorrectable, %d blocks retired\n",
+				*relProf, *wear, res.RetryRate*100, res.MeanRetrySteps, res.UncorrectableReads, res.RetiredBlocks)
+		}
 		fmt.Printf("layout: %.1f%% of host reads served from fast pages\n", res.FastReadShare*100)
 		if res.Kind == ppbflash.KindPPB {
 			fmt.Printf("ppb:    %d migrations, %d diversions, %d demotions\n",
 				res.Migrations, res.Diversions, res.Demotions)
 		}
 	}
+}
+
+// validateNames rejects unknown policy names up front: every named knob
+// is resolved through the same registry the run would use, so the error
+// carries the registry's own list of valid spellings. The -ftl flag is
+// a comma-separated list; empty elements are skipped like the spec loop
+// does.
+func validateNames(ftlNames, dispatch, dependency, reliability, wear string) error {
+	for _, name := range strings.Split(ftlNames, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		known := false
+		for _, k := range ppbflash.FTLKindNames {
+			if name == k {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("unknown FTL %q (want %s)", name, strings.Join(ppbflash.FTLKindNames, ", "))
+		}
+	}
+	if _, err := ppbflash.DispatchByName(dispatch); err != nil {
+		return err
+	}
+	if _, err := ppbflash.DependencyByName(dependency); err != nil {
+		return err
+	}
+	if _, err := ppbflash.ReliabilityProfileByName(reliability); err != nil {
+		return err
+	}
+	if _, err := ppbflash.WearByName(wear); err != nil {
+		return err
+	}
+	return nil
 }
 
 // hasArrivalTimes reports whether any request carries a nonzero arrival

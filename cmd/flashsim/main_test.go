@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateNames pins the up-front policy-name validation: unknown
+// -ftl/-dispatch/-dependency/-reliability/-wear values must be rejected
+// before any trace is loaded, and the error must list the valid
+// spellings so the exit-2 message is actionable.
+func TestValidateNames(t *testing.T) {
+	const (
+		okFTL  = "ppb"
+		okDisp = "striped"
+		okDep  = "causal"
+		okRel  = "off"
+		okWear = "none"
+	)
+	cases := []struct {
+		name        string
+		ftl         string
+		dispatch    string
+		dependency  string
+		reliability string
+		wear        string
+		wantErr     string // substring of the error ("" = valid)
+	}{
+		{name: "defaults", ftl: okFTL, dispatch: okDisp, dependency: okDep, reliability: okRel, wear: okWear},
+		{name: "every ftl", ftl: "conventional,ppb,greedy-speed,hotcold-split",
+			dispatch: okDisp, dependency: okDep, reliability: okRel, wear: okWear},
+		{name: "ftl list with spaces and trailing comma", ftl: " conventional , ppb ,",
+			dispatch: okDisp, dependency: okDep, reliability: okRel, wear: okWear},
+		{name: "reliability and wear enabled", ftl: okFTL,
+			dispatch: okDisp, dependency: okDep, reliability: "high", wear: "threshold-swap"},
+		{name: "unknown ftl", ftl: "pbb",
+			dispatch: okDisp, dependency: okDep, reliability: okRel, wear: okWear,
+			wantErr: "conventional, ppb, greedy-speed, hotcold-split"},
+		{name: "unknown ftl in list", ftl: "conventional,bogus",
+			dispatch: okDisp, dependency: okDep, reliability: okRel, wear: okWear,
+			wantErr: `unknown FTL "bogus"`},
+		{name: "unknown dispatch", ftl: okFTL,
+			dispatch: "round-robin", dependency: okDep, reliability: okRel, wear: okWear,
+			wantErr: "striped, least-loaded or hotcold-affinity"},
+		{name: "unknown dependency", ftl: okFTL,
+			dispatch: okDisp, dependency: "acausal", reliability: okRel, wear: okWear,
+			wantErr: "causal or legacy"},
+		{name: "unknown reliability", ftl: okFTL,
+			dispatch: okDisp, dependency: okDep, reliability: "medium", wear: okWear,
+			wantErr: "off, low or high"},
+		{name: "unknown wear", ftl: okFTL,
+			dispatch: okDisp, dependency: okDep, reliability: okRel, wear: "static",
+			wantErr: "none, wear-aware or threshold-swap"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateNames(tc.ftl, tc.dispatch, tc.dependency, tc.reliability, tc.wear)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateNames() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validateNames() = nil, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validateNames() = %q, want it to contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ppbench [-fig all|3|12|13|14|15|16|17|18|a1|a2|a3|a4|a5|a6|a7] [-scale quick|bench|paper]
+//	ppbench [-fig all|3|12|13|14|15|16|17|18|a1|a2|a3|a4|a5|a6|a7|a9] [-scale quick|bench|paper]
 //	        [-divisor N] [-turnover F] [-seed N] [-parallel N]
 //	        [-json] [-out BENCH_1.json]
 //
@@ -60,7 +60,7 @@ type figureEntry struct {
 
 func main() {
 	var (
-		figFlag      = flag.String("fig", "all", "experiment id (3, 12-18, a1-a7) or 'all'")
+		figFlag      = flag.String("fig", "all", "experiment id (3, 12-18, a1-a7, a9) or 'all'")
 		scaleFlag    = flag.String("scale", "bench", "preset scale: quick, bench or paper")
 		divisorFlag  = flag.Int("divisor", 0, "override device divisor (1 = full 64 GB)")
 		turnoverFlag = flag.Float64("turnover", 0, "override write turnover multiple")
@@ -150,22 +150,25 @@ func effectiveParallelism(p int) int {
 }
 
 // microBenchmarks measures the raw page-op throughput of the simulator
-// (cost floor) and of the full PPB strategy. It shares the loop and
-// configuration with the repo's BenchmarkDevicePageOps/BenchmarkPPBPageOps
-// through ppbflash.NewPageOpsFTL/RunPageOps, so the -json report and the
-// CI benchmarks always measure the same thing.
+// (cost floor), of the full PPB strategy, and of the retried-read hot
+// path under the reliability model. It shares the loop and configuration
+// with the repo's BenchmarkDevicePageOps/BenchmarkPPBPageOps/
+// BenchmarkReliabilityPageOps through the ppbflash page-op constructors,
+// so the -json report and the CI benchmarks always measure the same
+// thing.
 func microBenchmarks() []microBenchEntry {
-	out := make([]microBenchEntry, 0, 2)
+	out := make([]microBenchEntry, 0, 3)
 	for _, mb := range []struct {
-		name string
-		kind ppbflash.FTLKind
+		name  string
+		build func() (ppbflash.FTL, error)
 	}{
-		{"DevicePageOps", ppbflash.KindConventional},
-		{"PPBPageOps", ppbflash.KindPPB},
+		{"DevicePageOps", func() (ppbflash.FTL, error) { return ppbflash.NewPageOpsFTL(ppbflash.KindConventional) }},
+		{"PPBPageOps", func() (ppbflash.FTL, error) { return ppbflash.NewPageOpsFTL(ppbflash.KindPPB) }},
+		{"ReliabilityPageOps", ppbflash.NewReliabilityPageOpsFTL},
 	} {
-		kind := mb.kind
+		build := mb.build
 		res := testing.Benchmark(func(b *testing.B) {
-			f, err := ppbflash.NewPageOpsFTL(kind)
+			f, err := build()
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -181,7 +184,7 @@ func microBenchmarks() []microBenchEntry {
 			AllocsPerOp: res.AllocsPerOp(),
 			BytesPerOp:  res.AllocedBytesPerOp(),
 		})
-		fmt.Printf("  %-14s %10.1f ns/op  %3d allocs/op\n", mb.name,
+		fmt.Printf("  %-18s %10.1f ns/op  %3d allocs/op\n", mb.name,
 			float64(res.T.Nanoseconds())/float64(res.N), res.AllocsPerOp())
 	}
 	return out

@@ -50,6 +50,11 @@ func NewBase(dev *nand.Device, vbm *vblock.Manager, opts Options) (Base, error) 
 	if opts.DeferErases {
 		dev.SetEraseDeferral(opts.EraseDeferWindow)
 	}
+	if opts.Reliability != nil {
+		if err := dev.SetReliability(*opts.Reliability, opts.ReliabilitySeed); err != nil {
+			return Base{}, err
+		}
+	}
 	logical := LogicalPagesFor(cfg, opts.OverProvision)
 	if logical == 0 {
 		return Base{}, fmt.Errorf("ftl: no logical space (over-provision %g on %d pages)",

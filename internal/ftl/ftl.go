@@ -86,6 +86,10 @@ func (m DependencyModel) String() string {
 	return "causal"
 }
 
+// DependencyModelNames lists the dependency models in presentation
+// order (the a7 sweep's model axis).
+var DependencyModelNames = []string{DepCausal.String(), DepLegacy.String()}
+
 // DependencyByName resolves a dependency model from its name — the
 // spelling RunSpec.Dependency and flashsim -dependency accept. The empty
 // string means the default (causal).
@@ -144,6 +148,26 @@ type Options struct {
 	// it is force-committed (zero defaults to 8x the device's erase
 	// latency). Only meaningful with DeferErases.
 	EraseDeferWindow time.Duration
+	// Wear selects the wear-leveling policy layered on GC victim
+	// selection (see WearPolicy). The zero value WearNone keeps the
+	// historic greedy behavior bit-identical.
+	Wear WearPolicy
+	// WearWindow is how many invalid-count buckets below the greedy top
+	// WearAware may reach for a less-worn victim (zero defaults to
+	// PagesPerBlock/8, minimum 1). Only meaningful with WearAware.
+	WearWindow int
+	// WearThreshold is the max-vs-min erase-count spread that triggers a
+	// WearThresholdSwap static swap (zero defaults to 8). Only
+	// meaningful with WearThresholdSwap.
+	WearThreshold uint32
+	// Reliability installs the layer-aware reliability model on the
+	// device at construction (nil leaves the model off; a disabled
+	// config is equivalent). See nand.ReliabilityConfig and
+	// nand.ReliabilityProfileByName for the built-in presets.
+	Reliability *nand.ReliabilityConfig
+	// ReliabilitySeed seeds the model's fault-injection PRNG; equal
+	// seeds reproduce identical fault sequences at any run parallelism.
+	ReliabilitySeed int64
 }
 
 func (o Options) withDefaults(cfg nand.Config) Options {
@@ -161,6 +185,15 @@ func (o Options) withDefaults(cfg nand.Config) Options {
 	}
 	if o.DeferErases && o.EraseDeferWindow == 0 {
 		o.EraseDeferWindow = 8 * cfg.EraseLatency
+	}
+	if o.Wear == WearAware && o.WearWindow == 0 {
+		o.WearWindow = cfg.PagesPerBlock / 8
+		if o.WearWindow < 1 {
+			o.WearWindow = 1
+		}
+	}
+	if o.Wear == WearThresholdSwap && o.WearThreshold == 0 {
+		o.WearThreshold = 8
 	}
 	return o
 }
@@ -181,6 +214,17 @@ func (o Options) Validate(cfg nand.Config) error {
 	}
 	if o.EraseDeferWindow < 0 {
 		return fmt.Errorf("ftl: negative erase-deferral window %v", o.EraseDeferWindow)
+	}
+	if o.Wear > WearThresholdSwap {
+		return fmt.Errorf("ftl: unknown wear policy %d", o.Wear)
+	}
+	if o.WearWindow < 0 {
+		return fmt.Errorf("ftl: negative wear window %d", o.WearWindow)
+	}
+	if o.Reliability != nil {
+		if err := o.Reliability.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

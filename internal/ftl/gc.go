@@ -26,6 +26,9 @@ func (b *Base) GCLoop(exclude func(nand.BlockID) bool, reprogram ReprogramFunc) 
 
 // pickVictim selects the next GC victim: full blocks only, then (when
 // fullOnly is cleared) any owned block as the desperation fallback.
+// Under Options.Wear == WearAware the greedy rule is relaxed through
+// the victim index (the debug full scan keeps the plain greedy policy —
+// it exists to cross-check the index, not the wear knob).
 func (b *Base) pickVictim(fullOnly bool, exclude func(nand.BlockID) bool) (nand.BlockID, bool) {
 	if b.opts.DebugScanVictims {
 		iter := b.vbm.ForEachFull
@@ -33,6 +36,9 @@ func (b *Base) pickVictim(fullOnly bool, exclude func(nand.BlockID) bool) (nand.
 			iter = b.vbm.ForEachOwned
 		}
 		return victimPolicy{dev: b.dev}.pick(iter, exclude)
+	}
+	if b.opts.Wear == WearAware {
+		return b.vbm.PickVictimWearAware(fullOnly, exclude, b.dev.EraseCount, b.opts.WearWindow)
 	}
 	return b.vbm.PickVictim(fullOnly, exclude, b.dev.EraseCount)
 }
@@ -58,17 +64,93 @@ func (b *Base) GCLoopOrdered(exclude func(nand.BlockID) bool,
 			}
 		}
 		before := vbm.FreeBlocks()
+		retiredBefore := b.dev.RetiredBlocks()
 		if err := b.collectBlock(victim, reprogram, fastFirst); err != nil {
 			return err
 		}
-		if vbm.FreeBlocks() <= before {
+		if vbm.FreeBlocks() <= before && b.dev.RetiredBlocks() == retiredBefore {
 			// Relocation consumed the reclaimed space: the high-water
 			// target is not reachable right now. Stop rather than churn
 			// nearly-valid blocks (GC must always make forward progress).
+			// A collection that retired its victim made a different kind
+			// of progress — retirement is permanent, so looping on it is
+			// bounded by the block count and must continue, or a wave of
+			// bad blocks would wedge reclaim below the high-water mark.
 			return nil
 		}
 	}
+	// Free space is healthy again: do the proactive reliability work —
+	// scrub blocks flagged for retirement, then rebalance wear. Both are
+	// bounded and guarded so they never push the pool back into GC.
+	if err := b.scrubRetireCandidates(exclude, reprogram, fastFirst); err != nil {
+		return err
+	}
+	return b.maybeWearSwap(exclude, reprogram, fastFirst)
+}
+
+// scrubRetireCandidates drains the device's retire-candidate queue
+// while free space allows: each candidate's surviving valid pages are
+// relocated and the block is retired instead of freed. A candidate
+// skipped here (active block, or the pool ran low) keeps its pending
+// recommendation and is retired at its next normal GC erase instead, so
+// retirement never depends on the scrub running.
+func (b *Base) scrubRetireCandidates(exclude func(nand.BlockID) bool, reprogram ReprogramFunc, fastFirst func(nand.OOB) bool) error {
+	if !b.dev.ReliabilityEnabled() {
+		return nil
+	}
+	for b.vbm.FreeBlocks() > b.opts.GCLowWater {
+		cand, ok := b.dev.NextRetireCandidate()
+		if !ok {
+			return nil
+		}
+		if exclude != nil && exclude(cand) {
+			continue
+		}
+		if _, owned := b.vbm.PoolOf(cand); !owned {
+			continue
+		}
+		if err := b.collectBlock(cand, reprogram, fastFirst); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// maybeWearSwap runs one static wear-leveling swap per GC invocation
+// under Options.Wear == WearThresholdSwap: when the spread between the
+// device's highest erase count and the least-worn full block reaches
+// Options.WearThreshold, that cold block is collected even though it
+// may be fully valid, so its under-worn cells rejoin circulation. The
+// max erase count is O(1) (the device maintains it incrementally); only
+// the min scan pays a ForEachFull walk, and only while the policy is
+// active and free space is healthy.
+func (b *Base) maybeWearSwap(exclude func(nand.BlockID) bool, reprogram ReprogramFunc, fastFirst func(nand.OOB) bool) error {
+	if b.opts.Wear != WearThresholdSwap {
+		return nil
+	}
+	if b.vbm.FreeBlocks() <= b.opts.GCLowWater {
+		return nil
+	}
+	max := b.dev.MaxEraseCount()
+	if max < b.opts.WearThreshold {
+		return nil
+	}
+	var cand nand.BlockID
+	var candWear uint32
+	found := false
+	b.vbm.ForEachFull(func(blk nand.BlockID) bool {
+		if exclude != nil && exclude(blk) {
+			return true
+		}
+		if w := b.dev.EraseCount(blk); !found || w < candWear {
+			cand, candWear, found = blk, w, true
+		}
+		return true
+	})
+	if !found || max-candWear < b.opts.WearThreshold {
+		return nil
+	}
+	return b.collectBlock(cand, reprogram, fastFirst)
 }
 
 // collectBlock relocates the victim's valid pages (optionally in two
@@ -168,7 +250,14 @@ func (b *Base) collectBlock(victim nand.BlockID,
 	if err != nil {
 		return err
 	}
-	if vbm.IsFull(victim) {
+	if b.dev.RetireRecommended(victim) {
+		// The erase crossed the block's P/E limit (or earlier
+		// uncorrectable reads flagged it): retire instead of freeing.
+		// Contents are already safe — every valid page was relocated
+		// above — so capacity shrinks by exactly one clean block.
+		b.dev.MarkRetired(victim)
+		err = vbm.Retire(victim)
+	} else if vbm.IsFull(victim) {
 		err = vbm.Release(victim)
 	} else {
 		err = vbm.ReleaseForce(victim)

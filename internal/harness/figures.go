@@ -656,7 +656,8 @@ var Experiments = map[string]func(Scale) (*FigureResult, error){
 	"a5": QDSweep,
 	"a6": DispatchSweep,
 	"a7": CausalSweep,
+	"a9": ReliabilitySweep,
 }
 
 // ExperimentOrder is the presentation order for "run everything".
-var ExperimentOrder = []string{"12", "13", "14", "15", "16", "17", "18", "3", "a1", "a2", "a3", "a4", "a5", "a6", "a7"}
+var ExperimentOrder = []string{"12", "13", "14", "15", "16", "17", "18", "3", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a9"}

@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestReliabilitySweepShape runs experiment a9 at CI scale and asserts
+// the qualitative claims the sweep exists to demonstrate, independent of
+// the golden fixture's exact numbers:
+//
+//   - read-retry rate grows strictly with P/E cycling (the write-
+//     turnover axis ages the device and the retry rate must follow);
+//   - the aggressive BER profile retries more than the mild one at
+//     every wear/FTL point;
+//   - wear leveling never hurts the lifetime proxy, and the static
+//     threshold-swap policy strictly beats no leveling;
+//   - the replay points run on an intact device (no retirement — the
+//     presets' P/E limits sit above replay wear by design).
+func TestReliabilitySweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("a9 sweep runs full trace replays; skipped in -short")
+	}
+	fig, err := ReliabilitySweep(QuickScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cyc := fig.Series["cycling/retryrate"]
+	if len(cyc) != len(ReliabilityCyclingTurnovers) {
+		t.Fatalf("cycling series has %d points, want %d", len(cyc), len(ReliabilityCyclingTurnovers))
+	}
+	for i := 1; i < len(cyc); i++ {
+		if cyc[i] <= cyc[i-1] {
+			t.Errorf("retry rate did not grow with P/E cycling: %v", cyc)
+		}
+	}
+
+	for _, wear := range ReliabilityWearPolicies {
+		for _, kind := range []string{"conventional", "ppb"} {
+			point := func(prof, series string) float64 {
+				key := fmt.Sprintf("%s/%s/%s/%s", prof, wear, kind, series)
+				v, ok := fig.Series[key]
+				if !ok || len(v) != 1 {
+					t.Fatalf("series %q missing or malformed: %v", key, v)
+				}
+				return v[0]
+			}
+			low, high := point("low", "retryrate"), point("high", "retryrate")
+			if !(low > 0 && low < 1 && high > 0 && high < 1) {
+				t.Errorf("%s/%s: retry rates %g/%g outside (0,1)", wear, kind, low, high)
+			}
+			if high <= low {
+				t.Errorf("%s/%s: high-BER retry rate %g not above low %g", wear, kind, high, low)
+			}
+			for _, prof := range ReliabilityProfiles {
+				if r := point(prof, "retired"); r != 0 {
+					t.Errorf("%s/%s/%s: %g blocks retired during replay; presets must keep the device intact", prof, wear, kind, r)
+				}
+				if m := point(prof, "meanretry"); m < 1 {
+					t.Errorf("%s/%s/%s: mean retry steps %g below 1", prof, wear, kind, m)
+				}
+			}
+		}
+	}
+
+	lifetime := func(wear string) float64 {
+		v, ok := fig.Series["lifetime/"+wear]
+		if !ok || len(v) != 1 {
+			t.Fatalf("lifetime series for %q missing: %v", wear, v)
+		}
+		return v[0]
+	}
+	none, aware, swap := lifetime("none"), lifetime("wear-aware"), lifetime("threshold-swap")
+	if none <= 0 {
+		t.Fatalf("baseline lifetime proxy %g", none)
+	}
+	if aware < none {
+		t.Errorf("wear-aware lifetime %g below no-leveling %g", aware, none)
+	}
+	if swap <= none {
+		t.Errorf("threshold-swap lifetime %g not strictly above no-leveling %g", swap, none)
+	}
+}

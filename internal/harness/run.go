@@ -6,6 +6,7 @@ package harness
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -28,6 +29,12 @@ const (
 	KindGreedySpeed  FTLKind = "greedy-speed"
 	KindHotColdSplit FTLKind = "hotcold-split"
 )
+
+// FTLKindNames lists the strategy kinds in presentation order — the
+// spellings RunSpec.Kind and flashsim -ftl accept.
+var FTLKindNames = []string{
+	string(KindConventional), string(KindPPB), string(KindGreedySpeed), string(KindHotColdSplit),
+}
 
 // WorkloadBuilder constructs a generator sized to the run's logical
 // space. The harness passes the exact logical byte capacity so traces
@@ -79,6 +86,19 @@ type RunSpec struct {
 	// first) and commit at the next idle gap, bounded by the FTL's
 	// erase-deferral window. Mirrors FTLOptions.DeferErases.
 	DeferErases bool
+	// Reliability names the reliability preset installed on the device:
+	// "off" (the default), "low" or "high" — see
+	// nand.ReliabilityProfileByName. Empty leaves FTLOptions.Reliability
+	// in charge (nil there = off); a non-empty name overrides it.
+	Reliability string
+	// Wear names the wear-leveling policy: "none" (the default),
+	// "wear-aware" or "threshold-swap". Empty leaves FTLOptions.Wear in
+	// charge. See ftl.WearByName.
+	Wear string
+	// Seed drives the reliability model's fault-injection PRNG (zero
+	// leaves FTLOptions.ReliabilitySeed in charge). Runs with equal
+	// seeds inject identical faults at any RunAll parallelism.
+	Seed int64
 }
 
 // Result carries the measurements of one run.
@@ -125,6 +145,17 @@ type Result struct {
 	// chips, overlapped operations shrink it.
 	Makespan time.Duration
 
+	// Reliability outcomes of the measured trace (all zero with the
+	// model off — see RunSpec.Reliability). RetiredBlocks is cumulative
+	// (the capacity permanently lost, including prefill-era
+	// retirements); the read counters are trace-era deltas.
+	RetriedReads       uint64
+	RetrySteps         uint64
+	UncorrectableReads uint64
+	RetiredBlocks      uint64
+	RetryRate          float64 // retried reads / device reads
+	MeanRetrySteps     float64 // retry steps per retried read
+
 	// Skipped marks a run that RunAll never finished because an earlier
 	// spec in the same batch failed (fail-fast). All measurement fields of
 	// a skipped row are zero; tabulating code must drop such rows instead
@@ -156,6 +187,27 @@ func buildFTL(spec RunSpec, dev *nand.Device) (ftl.FTL, error) {
 	if spec.DeferErases {
 		spec.FTLOptions.DeferErases = true
 	}
+	if spec.Reliability != "" {
+		prof, err := nand.ReliabilityProfileByName(spec.Reliability)
+		if err != nil {
+			return nil, err
+		}
+		if prof.Enabled {
+			spec.FTLOptions.Reliability = &prof
+		} else {
+			spec.FTLOptions.Reliability = nil
+		}
+	}
+	if spec.Wear != "" {
+		w, err := ftl.WearByName(spec.Wear)
+		if err != nil {
+			return nil, err
+		}
+		spec.FTLOptions.Wear = w
+	}
+	if spec.Seed != 0 {
+		spec.FTLOptions.ReliabilitySeed = spec.Seed
+	}
 	switch spec.Kind {
 	case KindConventional:
 		return ftl.NewConventional(dev, spec.FTLOptions)
@@ -168,7 +220,8 @@ func buildFTL(spec RunSpec, dev *nand.Device) (ftl.FTL, error) {
 	case KindHotColdSplit:
 		return ftl.NewHotColdSplit(dev, spec.FTLOptions, nil)
 	default:
-		return nil, fmt.Errorf("harness: unknown FTL kind %q", spec.Kind)
+		return nil, fmt.Errorf("harness: unknown FTL kind %q (want %s)",
+			spec.Kind, strings.Join(FTLKindNames, ", "))
 	}
 }
 
@@ -201,13 +254,17 @@ func Run(spec RunSpec) (Result, error) {
 	// Snapshot the device erase counter so collect reports only trace-era
 	// erases: the FTL stats reset above cannot reach the device counter,
 	// and prefill on a tight logical space runs real garbage collection.
+	// Reliability outcomes and the raw read count get the same treatment
+	// so retry rates describe the trace, not the prefill.
 	eraseBase := dev.TotalErases()
+	relBase := dev.ReliabilityStats()
+	readsBase := dev.Stats().Reads.Value()
 	rm := NewReplayMetrics()
 	opts := ReplayOptions{QueueDepth: spec.QueueDepth, OpenLoop: spec.OpenLoop}
 	if err := ReplayQueued(f, gen, rm, opts); err != nil {
 		return Result{}, fmt.Errorf("harness: %s: %w", spec.Name, err)
 	}
-	return collect(spec, f, eraseBase, rm), nil
+	return collect(spec, f, eraseBase, relBase, readsBase, rm), nil
 }
 
 // RunAll executes the specs on a pool of parallelism workers and returns
@@ -296,6 +353,32 @@ func NewPageOpsFTL(kind FTLKind) (ftl.FTL, error) {
 		return nil, err
 	}
 	return buildFTL(RunSpec{Kind: kind, FTLOptions: ftl.Options{OverProvision: 0.2}}, dev)
+}
+
+// NewReliabilityPageOpsFTL builds the page-op microbenchmark subject
+// with the reliability model enabled: the "high" error profile (so the
+// retry path actually fires) under wear-aware GC, with both retirement
+// thresholds disabled — the loop runs an unbounded number of
+// iterations, and retiring blocks would eventually shrink the pool out
+// from under it. Used by BenchmarkReliabilityPageOps and the CI alloc
+// guard over the retried-read hot path.
+func NewReliabilityPageOpsFTL() (ftl.FTL, error) {
+	dev, err := nand.NewDevice(nand.TableOneConfig().Scaled(128))
+	if err != nil {
+		return nil, err
+	}
+	prof, err := nand.ReliabilityProfileByName("high")
+	if err != nil {
+		return nil, err
+	}
+	prof.PECycleLimit = 0
+	prof.UncorrectableLimit = 0
+	return buildFTL(RunSpec{Kind: KindConventional, FTLOptions: ftl.Options{
+		OverProvision:   0.2,
+		Reliability:     &prof,
+		ReliabilitySeed: 1,
+		Wear:            ftl.WearAware,
+	}}, dev)
 }
 
 // RunPageOps executes n iterations of the standard page-op loop (write
@@ -594,7 +677,7 @@ func (q *completionQueue) PopMin() time.Duration {
 	return min
 }
 
-func collect(spec RunSpec, f ftl.FTL, eraseBase uint64, rm *ReplayMetrics) Result {
+func collect(spec RunSpec, f ftl.FTL, eraseBase uint64, relBase nand.ReliabilityStats, readsBase uint64, rm *ReplayMetrics) Result {
 	st := f.Stats()
 	res := Result{
 		Name:          spec.Name,
@@ -624,6 +707,18 @@ func collect(spec RunSpec, f ftl.FTL, eraseBase uint64, rm *ReplayMetrics) Resul
 	}
 	if reads := st.FastReads.Value() + st.SlowReads.Value(); reads > 0 {
 		res.FastReadShare = float64(st.FastReads.Value()) / float64(reads)
+	}
+	if rs := f.Device().ReliabilityStats(); rs != (nand.ReliabilityStats{}) {
+		res.RetriedReads = rs.Retried - relBase.Retried
+		res.RetrySteps = rs.Steps - relBase.Steps
+		res.UncorrectableReads = rs.Uncorrectable - relBase.Uncorrectable
+		res.RetiredBlocks = rs.Retired
+		if reads := f.Device().Stats().Reads.Value() - readsBase; reads > 0 {
+			res.RetryRate = float64(res.RetriedReads) / float64(reads)
+		}
+		if res.RetriedReads > 0 {
+			res.MeanRetrySteps = float64(res.RetrySteps) / float64(res.RetriedReads)
+		}
 	}
 	if p, ok := f.(*core.PPB); ok {
 		ps := p.PPBStats()

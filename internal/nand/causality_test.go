@@ -205,6 +205,56 @@ func TestFlushDeferredErases(t *testing.T) {
 	}
 }
 
+// TestEraseForceDoubleDeferral is the audit regression for EraseForce
+// against the deferred-erase queue: force-erasing the same block twice
+// while its chip is busy parks two queue entries for that block, and
+// each must be booked exactly once. commitEligible's must-commit scan
+// keeps the LAST matching index, so a program into the reallocated
+// block drains both entries (never just the first, which would let the
+// program book ahead of the second erase), the chip clock carries
+// exactly two erase costs, stats count exactly two erases, and nothing
+// stale survives for FlushDeferredErases to double-book.
+func TestEraseForceDoubleDeferral(t *testing.T) {
+	d, cfg := deferTestDevice(t, time.Hour)
+	busy := d.ChipFree(0)
+	if _, err := d.EraseForce(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.EraseForce(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.DeferredErases(); got != 2 {
+		t.Fatalf("deferred erases = %d after double force, want 2", got)
+	}
+	if got := d.Stats().Erases.Value(); got != 2 {
+		t.Fatalf("erase stats = %d at issue, want 2", got)
+	}
+	if got := d.ChipFree(0); got != busy {
+		t.Fatalf("deferred erases occupied the chip: free %v, want %v", got, busy)
+	}
+	// Programming the reallocated block must commit BOTH parked erases
+	// first: the program starts after two erase costs, not one.
+	if _, err := d.Program(cfg.PPNForBlockPage(0, 0), OOB{LPN: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := d.LastStart(), busy+2*cfg.EraseLatency; got != want {
+		t.Errorf("program into twice-erased block started at %v, want %v", got, want)
+	}
+	if got := d.DeferredErases(); got != 0 {
+		t.Errorf("deferred erases = %d after block reuse, want 0", got)
+	}
+	// The queue is truly empty: flushing now must not move the clocks
+	// (a stale entry would re-book a third erase cost).
+	free := d.ChipFree(0)
+	d.FlushDeferredErases()
+	if got := d.ChipFree(0); got != free {
+		t.Errorf("flush moved chip free from %v to %v with an empty queue", free, got)
+	}
+	if got := d.Stats().Erases.Value(); got != 2 {
+		t.Errorf("erase stats = %d after commit+flush, want still 2", got)
+	}
+}
+
 // TestEraseDeferralDisabledUnchanged: with no deferral window the erase
 // occupies the chip immediately, exactly as before the queue existed.
 func TestEraseDeferralDisabledUnchanged(t *testing.T) {

@@ -48,6 +48,7 @@ var (
 	ErrAlreadyWritten = errors.New("nand: page already programmed (erase-before-write)")
 	ErrReadFree       = errors.New("nand: reading a free page")
 	ErrEraseOpen      = errors.New("nand: erase validity bookkeeping broken")
+	ErrBlockRetired   = errors.New("nand: block retired")
 )
 
 // blockState is the per-block bookkeeping of the device.
@@ -140,6 +141,11 @@ type Device struct {
 	// enables deferral, deferred[c] is chip c's FIFO of pending erases.
 	deferWindow time.Duration
 	deferred    [][]deferredErase
+
+	// Reliability model state (nil when disabled — see SetReliability)
+	// and the incrementally-maintained highest per-block erase count.
+	rel     *relState
+	maxWear uint32
 
 	// Burst window (see BeginBurst): the ops scheduled since the last
 	// BeginBurst call, their earliest start and latest finish. The harness
@@ -497,6 +503,13 @@ func (d *Device) Read(p PPN) (OOB, time.Duration, error) {
 		return OOB{}, 0, fmt.Errorf("%w: %v", ErrReadFree, d.cfg.AddressOf(p))
 	}
 	cost := d.readCost[page]
+	if d.rel != nil {
+		// The penalty (retry re-senses, ECC decode, recovery) is part of
+		// the read's device time: it occupies the chip and is observed in
+		// ReadTime, so latency percentiles see retries. With the model
+		// off this branch never runs and costs are bit-identical.
+		cost += d.reliabilityPenalty(b, blk, p, page)
+	}
 	d.schedule(b, cost)
 	d.stats.Reads.Inc()
 	d.stats.ReadTime.Observe(cost)
@@ -519,6 +532,12 @@ func (d *Device) Program(p PPN, oob OOB) (time.Duration, error) {
 	if page != blk.nextPage {
 		return 0, fmt.Errorf("%w: %v (next programmable page is %d)",
 			ErrProgramOrder, d.cfg.AddressOf(p), blk.nextPage)
+	}
+	if d.rel != nil {
+		if d.rel.flags[b]&relFlagRetired != 0 {
+			return 0, fmt.Errorf("%w: programming block %d", ErrBlockRetired, b)
+		}
+		d.rel.progTime[p] = d.now
 	}
 	blk.states[page] = PageValid
 	blk.oob[page] = oob
@@ -562,15 +581,21 @@ func (d *Device) Erase(b BlockID) (time.Duration, error) {
 	if blk.validPages != 0 {
 		return 0, fmt.Errorf("nand: erasing block %d with %d valid pages", b, blk.validPages)
 	}
+	if d.BlockRetired(b) {
+		return 0, fmt.Errorf("%w: erasing block %d", ErrBlockRetired, b)
+	}
 	return d.eraseBlock(b, blk), nil
 }
 
 // EraseForce erases the block regardless of valid data; used by tests and
-// by formatting tools.
+// by formatting tools. Retired blocks still reject it.
 func (d *Device) EraseForce(b BlockID) (time.Duration, error) {
 	blk, err := d.block(b)
 	if err != nil {
 		return 0, err
+	}
+	if d.BlockRetired(b) {
+		return 0, fmt.Errorf("%w: erasing block %d", ErrBlockRetired, b)
 	}
 	return d.eraseBlock(b, blk), nil
 }
@@ -584,6 +609,12 @@ func (d *Device) eraseBlock(b BlockID, blk *blockState) time.Duration {
 	blk.validPages = 0
 	blk.invalid = 0
 	blk.eraseCount++
+	if blk.eraseCount > d.maxWear {
+		d.maxWear = blk.eraseCount
+	}
+	if d.rel != nil && d.rel.cfg.PECycleLimit > 0 && blk.eraseCount >= d.rel.cfg.PECycleLimit {
+		d.rel.flagRetire(b)
+	}
 	chip := int(b) / d.cfg.BlocksPerChip
 	if d.deferWindow > 0 {
 		// Park the erase in the chip's deferred queue instead of booking
@@ -708,16 +739,11 @@ func (d *Device) BlockAge(b BlockID) uint64 {
 // TotalErases returns the device-wide erase count.
 func (d *Device) TotalErases() uint64 { return d.stats.Erases.Value() }
 
-// MaxEraseCount returns the highest per-block erase count (wear skew probe).
-func (d *Device) MaxEraseCount() uint32 {
-	var max uint32
-	for i := range d.blocks {
-		if d.blocks[i].eraseCount > max {
-			max = d.blocks[i].eraseCount
-		}
-	}
-	return max
-}
+// MaxEraseCount returns the highest per-block erase count (wear skew
+// probe). Erase counts only grow, so the device maintains it
+// incrementally and this is O(1) — cheap enough for per-GC-run wear
+// leveling decisions (see ftl.WearThresholdSwap).
+func (d *Device) MaxEraseCount() uint32 { return d.maxWear }
 
 // CheckAccounting verifies that per-block page-state counters agree with
 // the page arrays. It returns the first inconsistency found and is used by

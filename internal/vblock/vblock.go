@@ -52,9 +52,10 @@ func (v VB) String() string {
 type blockPhase uint8
 
 const (
-	phaseFree  blockPhase = iota
-	phaseOwned            // at least one VB allocated, block not yet full
-	phaseFull             // all pages programmed; waiting for GC
+	phaseFree    blockPhase = iota
+	phaseOwned              // at least one VB allocated, block not yet full
+	phaseFull               // all pages programmed; waiting for GC
+	phaseRetired            // bad block: permanently out of the lifecycle
 )
 
 // nilBlock terminates the intrusive bucket lists of the victim index.
@@ -100,6 +101,7 @@ type Manager struct {
 	blocks   []blockInfo
 	pendingQ [][]nand.BlockID // FIFO of blocks whose next part is allocatable, per pool
 	fullCnt  int
+	retired  int // blocks permanently removed via Retire
 
 	// Free pool, one lowest-first heap per chip. Which chip serves the
 	// next allocation is the dispatch policy's call; nextChip is the
@@ -286,10 +288,11 @@ func (m *Manager) PendingCountGroup(pool int, fast bool) int {
 	return n
 }
 
-// PoolOf returns the owning pool of a block; ok is false for free blocks.
+// PoolOf returns the owning pool of a block; ok is false for free and
+// retired blocks (neither belongs to any pool).
 func (m *Manager) PoolOf(b nand.BlockID) (int, bool) {
 	bi := &m.blocks[b]
-	if bi.phase == phaseFree {
+	if bi.phase == phaseFree || bi.phase == phaseRetired {
 		return 0, false
 	}
 	return bi.pool, true
@@ -461,12 +464,49 @@ func (m *Manager) ReleaseForce(b nand.BlockID) error {
 	return nil
 }
 
+// Retire permanently removes an owned or full block from the lifecycle:
+// it leaves its pool, pending queue and the victim index, and is never
+// returned to the free pool — the usable capacity honestly shrinks (see
+// RetiredBlocks). The FTL calls it after relocating the block's
+// surviving valid pages; retiring an already-retired block is a no-op,
+// and retiring a free block is an error (pull it from the free heap by
+// allocating it first, which never happens in practice because the
+// device only flags blocks at erase or read time).
+func (m *Manager) Retire(b nand.BlockID) error {
+	bi := &m.blocks[b]
+	switch bi.phase {
+	case phaseRetired:
+		return nil
+	case phaseFree:
+		return fmt.Errorf("vblock: retiring free block %d", b)
+	case phaseFull:
+		m.fullCnt--
+	}
+	if bi.pending {
+		q := m.pendingQ[bi.pool]
+		for i, blk := range q {
+			if blk == b {
+				m.pendingQ[bi.pool] = append(q[:i], q[i+1:]...)
+				break
+			}
+		}
+	}
+	m.idxRemove(b)
+	*bi = blockInfo{phase: phaseRetired}
+	m.retired++
+	return nil
+}
+
+// RetiredBlocks returns how many blocks have been retired — the
+// capacity the device has permanently lost to bad blocks.
+func (m *Manager) RetiredBlocks() int { return m.retired }
+
 // NoteInvalidated records that one page of the block was invalidated on
 // the device, keeping the victim index current. FTLs must call it after
 // every successful device Invalidate; release resets the count.
 func (m *Manager) NoteInvalidated(b nand.BlockID) {
 	bi := &m.blocks[b]
-	if bi.phase == phaseFree || bi.invalid >= m.cfg.PagesPerBlock {
+	if bi.phase == phaseFree || bi.phase == phaseRetired || bi.invalid >= m.cfg.PagesPerBlock {
 		return
 	}
 	m.idxRemove(b)
@@ -548,6 +588,45 @@ func (m *Manager) PickVictim(fullOnly bool, exclude func(nand.BlockID) bool, wea
 	return 0, false
 }
 
+// PickVictimWearAware is PickVictim with the greedy rule relaxed for
+// wear leveling: instead of insisting on the highest invalid-page
+// count, it considers every eligible block within window invalid-count
+// buckets of the top and returns the least-worn one, trading a bounded
+// amount of write amplification for a flatter wear distribution. With
+// window 0 it degenerates to PickVictim's tie-break-by-wear; when the
+// relaxed range holds no eligible block it falls back to the full
+// PickVictim walk so GC never stalls.
+func (m *Manager) PickVictimWearAware(fullOnly bool, exclude func(nand.BlockID) bool, wear func(nand.BlockID) uint32, window int) (nand.BlockID, bool) {
+	for m.maxInv >= 1 && m.buckets[m.maxInv] == nilBlock {
+		m.maxInv--
+	}
+	lo := m.maxInv - window
+	if lo < 1 {
+		lo = 1
+	}
+	var best nand.BlockID
+	var bestWear uint32
+	found := false
+	for inv := m.maxInv; inv >= lo; inv-- {
+		for node := m.buckets[inv]; node != nilBlock; node = m.blocks[node].next {
+			b := nand.BlockID(node)
+			if fullOnly && m.blocks[node].phase != phaseFull {
+				continue
+			}
+			if exclude != nil && exclude(b) {
+				continue
+			}
+			if w := wear(b); !found || w < bestWear {
+				best, bestWear, found = b, w, true
+			}
+		}
+	}
+	if found {
+		return best, true
+	}
+	return m.PickVictim(fullOnly, exclude, wear)
+}
+
 // ForEachFull calls fn for every full block until fn returns false.
 func (m *Manager) ForEachFull(fn func(nand.BlockID) bool) {
 	for i := range m.blocks {
@@ -559,11 +638,12 @@ func (m *Manager) ForEachFull(fn func(nand.BlockID) bool) {
 	}
 }
 
-// ForEachOwned calls fn for every non-free block (owned or full) until fn
-// returns false. Used by starved GC to consider partially used victims.
+// ForEachOwned calls fn for every owned or full block until fn returns
+// false (free and retired blocks are skipped). Used by starved GC to
+// consider partially used victims.
 func (m *Manager) ForEachOwned(fn func(nand.BlockID) bool) {
 	for i := range m.blocks {
-		if m.blocks[i].phase != phaseFree {
+		if p := m.blocks[i].phase; p == phaseOwned || p == phaseFull {
 			if !fn(nand.BlockID(i)) {
 				return
 			}
@@ -584,7 +664,7 @@ func (m *Manager) CheckInvariants() error {
 			inQueue[b] = pool
 		}
 	}
-	var full int
+	var full, retired int
 	for i := range m.blocks {
 		b := nand.BlockID(i)
 		bi := &m.blocks[i]
@@ -625,10 +705,18 @@ func (m *Manager) CheckInvariants() error {
 			if bi.pending {
 				return fmt.Errorf("vblock: full block %d still pending", b)
 			}
+		case phaseRetired:
+			retired++
+			if bi.allocated != 0 || bi.cursor != 0 || bi.pending || bi.inIdx {
+				return fmt.Errorf("vblock: retired block %d has state %+v", b, *bi)
+			}
 		}
 	}
 	if full != m.fullCnt {
 		return fmt.Errorf("vblock: full count %d, cached %d", full, m.fullCnt)
+	}
+	if retired != m.retired {
+		return fmt.Errorf("vblock: retired count %d, cached %d", retired, m.retired)
 	}
 	freeSum := 0
 	for chip, heap := range m.free {

@@ -132,6 +132,54 @@ func DispatchByName(name string) (DispatchPolicy, error) { return vblock.Dispatc
 // presentation order (the a6 sweep's policy axis).
 var DispatchPolicyNames = vblock.DispatchPolicyNames
 
+// DependencyModelNames lists the GC dependency models in presentation
+// order — the spellings DependencyByName accepts.
+var DependencyModelNames = ftl.DependencyModelNames
+
+// Reliability model (internal/nand) and wear leveling (internal/ftl).
+type (
+	// ReliabilityConfig parameterizes the layer-aware reliability model:
+	// per-page RBER from layer skew, P/E cycling and retention age, read
+	// retry with ECC-decode latency, and bad-block retirement thresholds.
+	ReliabilityConfig = nand.ReliabilityConfig
+	// ReliabilityStats counts retried, uncorrectable and retired
+	// outcomes under an enabled reliability model.
+	ReliabilityStats = nand.ReliabilityStats
+	// WearPolicy selects the GC wear-leveling policy.
+	WearPolicy = ftl.WearPolicy
+)
+
+// Wear-leveling policies (FTLOptions.Wear): none keeps the historic
+// wear tie-break only; wear-aware relaxes greedy victim selection
+// toward the least-worn block among the most-invalid candidates;
+// threshold-swap additionally recycles cold, fully-valid blocks once
+// the wear spread crosses FTLOptions.WearThreshold.
+const (
+	WearNone          = ftl.WearNone
+	WearAware         = ftl.WearAware
+	WearThresholdSwap = ftl.WearThresholdSwap
+)
+
+// WearByName resolves a wear policy from its name ("none",
+// "wear-aware", "threshold-swap") — the spelling RunSpec.Wear and
+// flashsim -wear accept.
+func WearByName(name string) (WearPolicy, error) { return ftl.WearByName(name) }
+
+// WearPolicyNames lists the wear policies in presentation order (the a9
+// sweep's wear axis).
+var WearPolicyNames = ftl.WearPolicyNames
+
+// ReliabilityProfileByName resolves a built-in reliability preset from
+// its name ("off", "low", "high") — the spelling RunSpec.Reliability
+// and flashsim -reliability accept.
+func ReliabilityProfileByName(name string) (ReliabilityConfig, error) {
+	return nand.ReliabilityProfileByName(name)
+}
+
+// ReliabilityProfileNames lists the built-in reliability presets in
+// presentation order (the a9 sweep's profile axis).
+var ReliabilityProfileNames = nand.ReliabilityProfileNames
+
 // The PPB strategy (internal/core).
 type (
 	// PPB is the progressive performance boosting FTL — the paper's
@@ -252,6 +300,15 @@ func RunAll(specs []RunSpec, parallelism int) ([]RunResult, error) {
 // shared by the repo benchmarks and ppbench -json.
 func NewPageOpsFTL(kind FTLKind) (FTL, error) { return harness.NewPageOpsFTL(kind) }
 
+// NewReliabilityPageOpsFTL builds the page-op microbenchmark subject
+// with the reliability model enabled (the retried-read hot path), shared
+// by BenchmarkReliabilityPageOps and ppbench -json.
+func NewReliabilityPageOpsFTL() (FTL, error) { return harness.NewReliabilityPageOpsFTL() }
+
+// FTLKindNames lists the FTL strategy kinds in presentation order — the
+// spellings RunSpec.Kind and flashsim -ftl accept.
+var FTLKindNames = harness.FTLKindNames
+
 // RunPageOps executes n iterations of the standard page-op loop.
 func RunPageOps(f FTL, n int) error { return harness.RunPageOps(f, n) }
 
@@ -285,7 +342,7 @@ func NewReplayMetrics() *ReplayMetrics { return harness.NewReplayMetrics() }
 // Experiment runs one of the paper's experiments by ID ("12".."18" for
 // figures, "3" for the motivation study, "a1".."a7" for ablations, the
 // chip-parallel, queue-depth, dispatch-policy and causality/erase-
-// deferral sweeps).
+// deferral sweeps, "a9" for the reliability-engine sweep).
 func Experiment(id string, s Scale) (*FigureResult, error) {
 	fn, ok := harness.Experiments[id]
 	if !ok {
@@ -309,5 +366,5 @@ type unknownExperimentError string
 func errUnknownExperiment(id string) error { return unknownExperimentError(id) }
 
 func (e unknownExperimentError) Error() string {
-	return "ppbflash: unknown experiment " + string(e) + " (want one of 3, 12-18, a1-a7)"
+	return "ppbflash: unknown experiment " + string(e) + " (want one of 3, 12-18, a1-a7, a9)"
 }
