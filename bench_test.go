@@ -183,3 +183,23 @@ func BenchmarkReliabilityPageOps(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// BenchmarkEventLoop measures the discrete-event replay machinery
+// itself: each iteration is one host request pulled from a generator,
+// pushed through the scheduler's event heap as issue and completion
+// events, and retired. The page-op benchmarks above bound the device
+// cost; the delta here is the event loop's own overhead. Steady state
+// must stay at 0 allocs/op — the heap's backing array and the replay's
+// locals are reused across events — and CI smoke-checks this.
+func BenchmarkEventLoop(b *testing.B) {
+	f, err := NewPageOpsFTL(KindConventional)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := NewReplayMetrics()
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := RunEventLoop(f, m, b.N); err != nil {
+		b.Fatal(err)
+	}
+}

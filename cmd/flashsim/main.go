@@ -40,6 +40,10 @@
 //
 // Unknown -ftl, -dispatch, -dependency, -reliability or -wear names are
 // rejected before the trace is loaded, with the list of valid names.
+//
+// Traces replay as pull-based streams: one validation pass up front,
+// then each FTL's replay re-reads the file one request at a time, so a
+// multi-day MSR trace never resides fully in memory.
 package main
 
 import (
@@ -47,6 +51,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"ppbflash"
 	"ppbflash/internal/trace"
@@ -86,16 +91,16 @@ func main() {
 		os.Exit(2)
 	}
 
-	reqs, err := loadTrace(*path, *format, *disk)
+	nreq, hasTimes, err := scanTrace(*path, *format, *disk)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if len(reqs) == 0 {
+	if nreq == 0 {
 		fmt.Fprintln(os.Stderr, "flashsim: trace is empty")
 		os.Exit(1)
 	}
-	if *openloop && !hasArrivalTimes(reqs) {
+	if *openloop && !hasTimes {
 		// The simple format (and synthetic traces) carry no timestamps:
 		// every request "arrives" at t=0, so open-loop latency from
 		// arrival degenerates to the running makespan. Surface it rather
@@ -117,11 +122,16 @@ func main() {
 	}
 
 	var specs []ppbflash.RunSpec
+	var streams []*traceStream
 	for _, name := range strings.Split(*ftlNames, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
 		}
+		// One stream per strategy: RunAll replays strategies concurrently,
+		// so each gets its own file handle and read position.
+		st := &traceStream{path: *path, format: *format, disk: *disk}
+		streams = append(streams, st)
 		specs = append(specs, ppbflash.RunSpec{
 			Name:        *path + "/" + name,
 			Device:      cfg,
@@ -136,7 +146,8 @@ func main() {
 			Wear:        *wear,
 			Seed:        *seed,
 			Workload: func(logicalBytes uint64) ppbflash.Generator {
-				return replayGenerator(reqs, logicalBytes)
+				st.bytes = logicalBytes
+				return st
 			},
 		})
 	}
@@ -149,6 +160,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	// A parse error mid-trace ends the stream early instead of aborting
+	// the run; surface it here rather than reporting a silently truncated
+	// replay as a clean result.
+	for _, st := range streams {
+		if err := st.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "flashsim:", err)
+			os.Exit(1)
+		}
 	}
 
 	for i, res := range results {
@@ -168,6 +188,8 @@ func main() {
 		fmt.Printf("host:   %d page reads (%d unmapped), %d page writes\n",
 			res.HostReadPages, res.UnmappedReads, res.HostWritePage)
 		fmt.Printf("time:   read total %v, write total %v, makespan %v\n", res.ReadTotal, res.WriteTotal, res.Makespan)
+		fmt.Printf("speed:  %.0f device-ops/s simulated (%d ops over the makespan); %d events replayed in %v (%.0f events/s wall)\n",
+			res.SimOpsPerSec, res.DeviceOps, res.ReplayEvents, res.ReplayWall.Round(time.Millisecond), res.WallEventsPerSec)
 		fmt.Printf("lat:    read p50/p95/p99 %v/%v/%v, write p50/p95/p99 %v/%v/%v\n",
 			res.ReadP50, res.ReadP95, res.ReadP99, res.WriteP50, res.WriteP95, res.WriteP99)
 		fmt.Printf("queue:  delay p50/p95/p99 %v/%v/%v\n",
@@ -222,67 +244,100 @@ func validateNames(ftlNames, dispatch, dependency, reliability, wear string) err
 	return nil
 }
 
-// hasArrivalTimes reports whether any request carries a nonzero arrival
-// timestamp (open-loop replay is meaningless without them).
-func hasArrivalTimes(reqs []ppbflash.Request) bool {
-	for _, r := range reqs {
-		if r.Time > 0 {
-			return true
-		}
-	}
-	return false
-}
-
-func loadTrace(path, format string, disk int) ([]ppbflash.Request, error) {
+// openTraceStream opens the trace file and wraps it in the parser for
+// the given format. The caller owns the returned file.
+func openTraceStream(path, format string, disk int) (*os.File, *trace.ErrStream, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	defer f.Close()
 	switch format {
 	case "msr":
 		r := trace.NewMSRReader(f)
 		if disk >= 0 {
 			r.FilterDisk(disk)
 		}
-		return r.ReadAll()
+		return f, r.Stream(), nil
 	case "simple":
-		return trace.ParseSimple(f)
+		return f, trace.NewSimpleReader(f).Stream(), nil
 	default:
-		return nil, fmt.Errorf("flashsim: unknown format %q", format)
+		f.Close()
+		return nil, nil, fmt.Errorf("flashsim: unknown format %q", format)
 	}
 }
 
-// replayGenerator adapts a request slice to the Generator interface,
-// wrapping offsets into the device's logical space.
-func replayGenerator(reqs []ppbflash.Request, logicalBytes uint64) ppbflash.Generator {
-	i := 0
-	return &wrapGen{
-		name:  "replay",
-		bytes: logicalBytes,
-		next: func() (ppbflash.Request, bool) {
-			if i >= len(reqs) {
-				return ppbflash.Request{}, false
-			}
-			r := reqs[i]
-			i++
-			if uint64(r.Size) > logicalBytes {
-				r.Size = uint32(logicalBytes)
-			}
-			if r.End() > logicalBytes {
-				r.Offset = r.Offset % (logicalBytes - uint64(r.Size) + 1)
-			}
-			return r, true
-		},
+// scanTrace streams the trace once without materializing it, returning
+// the request count and whether any request carries a nonzero arrival
+// timestamp (open-loop replay is meaningless without them). It doubles
+// as the up-front validation pass: a malformed line fails here, before
+// any simulation starts.
+func scanTrace(path, format string, disk int) (n int, hasTimes bool, err error) {
+	f, src, err := openTraceStream(path, format, disk)
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.Close()
+	for {
+		r, ok := src.Next()
+		if !ok {
+			return n, hasTimes, src.Err()
+		}
+		n++
+		if r.Time > 0 {
+			hasTimes = true
+		}
 	}
 }
 
-type wrapGen struct {
-	name  string
-	bytes uint64
-	next  func() (ppbflash.Request, bool)
+// traceStream is a pull-based replay Generator: it lazily reopens the
+// trace file on first Next and parses one request at a time, wrapping
+// offsets into the device's logical space. The full trace is never
+// held in memory. A parse error ends the stream and is latched for
+// Err(); it does not abort the replay mid-run.
+type traceStream struct {
+	path   string
+	format string
+	disk   int
+	bytes  uint64
+
+	f    *os.File
+	src  *trace.ErrStream
+	err  error
+	done bool
 }
 
-func (w *wrapGen) Name() string                   { return w.name }
-func (w *wrapGen) LogicalBytes() uint64           { return w.bytes }
-func (w *wrapGen) Next() (ppbflash.Request, bool) { return w.next() }
+func (t *traceStream) Name() string         { return "replay" }
+func (t *traceStream) LogicalBytes() uint64 { return t.bytes }
+
+func (t *traceStream) Next() (ppbflash.Request, bool) {
+	if t.done {
+		return ppbflash.Request{}, false
+	}
+	if t.src == nil {
+		f, src, err := openTraceStream(t.path, t.format, t.disk)
+		if err != nil {
+			t.err = err
+			t.done = true
+			return ppbflash.Request{}, false
+		}
+		t.f, t.src = f, src
+	}
+	r, ok := t.src.Next()
+	if !ok {
+		t.err = t.src.Err()
+		t.done = true
+		t.f.Close()
+		return ppbflash.Request{}, false
+	}
+	if uint64(r.Size) > t.bytes {
+		r.Size = uint32(t.bytes)
+	}
+	if r.End() > t.bytes {
+		r.Offset = r.Offset % (t.bytes - uint64(r.Size) + 1)
+	}
+	return r, true
+}
+
+// Err reports the first open or parse error that ended the stream, if
+// any. A clean end-of-trace returns nil.
+func (t *traceStream) Err() error { return t.err }

@@ -1,8 +1,15 @@
 package main
 
 import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"ppbflash"
 )
 
 // TestValidateNames pins the up-front policy-name validation: unknown
@@ -68,5 +75,142 @@ func TestValidateNames(t *testing.T) {
 				t.Fatalf("validateNames() = %q, want it to contain %q", err, tc.wantErr)
 			}
 		})
+	}
+}
+
+// writeSimpleTrace writes n "W offset size" lines to a temp file and
+// returns its path.
+func writeSimpleTrace(t *testing.T, n int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bufio.NewWriter(f)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(w, "W %d 4096\n", (i*4096)%(1<<28))
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestTraceStreamDoesNotMaterialize pins the streaming contract of the
+// replay path: pulling the first request from a traceStream must not
+// read the whole trace file. The file is megabytes long; after one
+// Next the file position may only have advanced by the scanner's
+// read-ahead buffer, proving the trace is parsed one request at a time
+// rather than materialized up front.
+func TestTraceStreamDoesNotMaterialize(t *testing.T) {
+	const n = 200000
+	path := writeSimpleTrace(t, n)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() < 1<<21 {
+		t.Fatalf("trace file only %d bytes; too small to prove streaming", fi.Size())
+	}
+
+	st := &traceStream{path: path, format: "simple", disk: -1, bytes: 1 << 30}
+	if _, ok := st.Next(); !ok {
+		t.Fatalf("first Next failed: %v", st.Err())
+	}
+	pos, err := st.f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos >= fi.Size()/4 {
+		t.Fatalf("after one request the stream consumed %d of %d bytes; trace was materialized, not streamed", pos, fi.Size())
+	}
+
+	count := 1
+	for {
+		if _, ok := st.Next(); !ok {
+			break
+		}
+		count++
+	}
+	if err := st.Err(); err != nil {
+		t.Fatalf("stream ended with error: %v", err)
+	}
+	if count != n {
+		t.Fatalf("streamed %d requests, want %d", count, n)
+	}
+}
+
+// TestScanTrace pins the up-front validation pass: the count matches
+// the file, the simple format carries no arrival timestamps, and a
+// malformed line is reported before any simulation would start.
+func TestScanTrace(t *testing.T) {
+	path := writeSimpleTrace(t, 1000)
+	n, hasTimes, err := scanTrace(path, "simple", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1000 {
+		t.Fatalf("scanTrace counted %d requests, want 1000", n)
+	}
+	if hasTimes {
+		t.Fatal("simple format has no timestamps, but scanTrace reported hasTimes")
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(bad, []byte("W 0 4096\nX nonsense\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := scanTrace(bad, "simple", -1); err == nil {
+		t.Fatal("scanTrace accepted a malformed trace line")
+	}
+}
+
+// TestTraceStreamConcurrentReplays replays one trace file through two
+// FTL strategies at once, the way flashsim -ftl a,b does: each spec
+// owns an independent traceStream (own file handle, own position), so
+// the concurrent runs must both see the full trace and end clean.
+func TestTraceStreamConcurrentReplays(t *testing.T) {
+	path := writeSimpleTrace(t, 2000)
+	cfg := ppbflash.TableOneConfig().Scaled(64)
+
+	var specs []ppbflash.RunSpec
+	var streams []*traceStream
+	for _, kind := range []ppbflash.FTLKind{ppbflash.KindConventional, ppbflash.KindPPB} {
+		st := &traceStream{path: path, format: "simple", disk: -1}
+		streams = append(streams, st)
+		specs = append(specs, ppbflash.RunSpec{
+			Name:       "stream/" + string(kind),
+			Device:     cfg,
+			Kind:       kind,
+			QueueDepth: 4,
+			Workload: func(logicalBytes uint64) ppbflash.Generator {
+				st.bytes = logicalBytes
+				return st
+			},
+		})
+	}
+	results, err := ppbflash.RunAll(specs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range streams {
+		if err := st.Err(); err != nil {
+			t.Fatalf("stream %d ended with error: %v", i, err)
+		}
+		if results[i].HostWritePage == 0 {
+			t.Fatalf("run %d replayed no writes", i)
+		}
+		if results[i].DeviceOps == 0 || results[i].SimOpsPerSec <= 0 {
+			t.Fatalf("run %d reported no simulated throughput: ops=%d ops/s=%g",
+				i, results[i].DeviceOps, results[i].SimOpsPerSec)
+		}
+	}
+	if results[0].HostWritePage != results[1].HostWritePage {
+		t.Fatalf("strategies saw different traces: %d vs %d host writes",
+			results[0].HostWritePage, results[1].HostWritePage)
 	}
 }

@@ -56,6 +56,10 @@ type figureEntry struct {
 	ID     string               `json:"id"`
 	WallMS float64              `json:"wall_ms"`
 	Series map[string][]float64 `json:"series"`
+	// OpsPerSec is the simulated device-ops/second of every run in the
+	// figure's sweep, keyed by spec name — the deterministic throughput
+	// signal, kept out of Series so golden fixtures stay byte-stable.
+	OpsPerSec map[string]float64 `json:"ops_per_sec"`
 }
 
 func main() {
@@ -119,9 +123,10 @@ func main() {
 		fmt.Println(fig.Table)
 		fmt.Printf("  [%s in %v]\n\n", fig.ID, wall.Round(time.Millisecond))
 		report.Figures = append(report.Figures, figureEntry{
-			ID:     fig.ID,
-			WallMS: float64(wall.Microseconds()) / 1000,
-			Series: fig.Series,
+			ID:        fig.ID,
+			WallMS:    float64(wall.Microseconds()) / 1000,
+			Series:    fig.Series,
+			OpsPerSec: fig.Throughput,
 		})
 	}
 
@@ -150,23 +155,28 @@ func effectiveParallelism(p int) int {
 }
 
 // microBenchmarks measures the raw page-op throughput of the simulator
-// (cost floor), of the full PPB strategy, and of the retried-read hot
-// path under the reliability model. It shares the loop and configuration
-// with the repo's BenchmarkDevicePageOps/BenchmarkPPBPageOps/
-// BenchmarkReliabilityPageOps through the ppbflash page-op constructors,
-// so the -json report and the CI benchmarks always measure the same
-// thing.
+// (cost floor), of the full PPB strategy, of the retried-read hot path
+// under the reliability model, and of the discrete-event replay loop
+// itself. It shares the loops and configurations with the repo's
+// BenchmarkDevicePageOps/BenchmarkPPBPageOps/BenchmarkReliabilityPageOps/
+// BenchmarkEventLoop through the ppbflash constructors, so the -json
+// report and the CI benchmarks always measure the same thing.
 func microBenchmarks() []microBenchEntry {
-	out := make([]microBenchEntry, 0, 3)
+	runPageOps := func(f ppbflash.FTL, n int) error { return ppbflash.RunPageOps(f, n) }
+	out := make([]microBenchEntry, 0, 4)
 	for _, mb := range []struct {
 		name  string
 		build func() (ppbflash.FTL, error)
+		run   func(ppbflash.FTL, int) error
 	}{
-		{"DevicePageOps", func() (ppbflash.FTL, error) { return ppbflash.NewPageOpsFTL(ppbflash.KindConventional) }},
-		{"PPBPageOps", func() (ppbflash.FTL, error) { return ppbflash.NewPageOpsFTL(ppbflash.KindPPB) }},
-		{"ReliabilityPageOps", ppbflash.NewReliabilityPageOpsFTL},
+		{"DevicePageOps", func() (ppbflash.FTL, error) { return ppbflash.NewPageOpsFTL(ppbflash.KindConventional) }, runPageOps},
+		{"PPBPageOps", func() (ppbflash.FTL, error) { return ppbflash.NewPageOpsFTL(ppbflash.KindPPB) }, runPageOps},
+		{"ReliabilityPageOps", ppbflash.NewReliabilityPageOpsFTL, runPageOps},
+		{"EventLoop",
+			func() (ppbflash.FTL, error) { return ppbflash.NewPageOpsFTL(ppbflash.KindConventional) },
+			func(f ppbflash.FTL, n int) error { return ppbflash.RunEventLoop(f, ppbflash.NewReplayMetrics(), n) }},
 	} {
-		build := mb.build
+		build, run := mb.build, mb.run
 		res := testing.Benchmark(func(b *testing.B) {
 			f, err := build()
 			if err != nil {
@@ -174,7 +184,7 @@ func microBenchmarks() []microBenchEntry {
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
-			if err := ppbflash.RunPageOps(f, b.N); err != nil {
+			if err := run(f, b.N); err != nil {
 				b.Fatal(err)
 			}
 		})

@@ -89,7 +89,7 @@ func TestDispatchRunsDeterministicAcrossParallelism(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range specs {
-		if serial[i] != wide[i] {
+		if serial[i].Canonical() != wide[i].Canonical() {
 			t.Errorf("%s: parallelism 1 result %+v != parallelism 8 %+v", specs[i].Name, serial[i], wide[i])
 		}
 	}

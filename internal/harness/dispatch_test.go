@@ -78,9 +78,10 @@ func TestRunSpecDispatchNames(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Name aside, every measurement must match the default run exactly.
+	// Name aside, every deterministic measurement must match the default
+	// run exactly (Canonical masks the wall-clock-only fields).
 	res.Name = def.Name
-	if res != def {
+	if res.Canonical() != def.Canonical() {
 		t.Errorf("striped-by-name result differs from default:\n got %+v\nwant %+v", res, def)
 	}
 

@@ -19,14 +19,37 @@ type FigureResult struct {
 	Table *metrics.Table
 	// Series holds the raw numbers per named curve.
 	Series map[string][]float64
+	// Throughput maps every completed run of the figure's sweep, by spec
+	// name, to its simulated device-ops-per-second (Result.SimOpsPerSec).
+	// Deterministic like Series, but deliberately kept out of it: the
+	// golden fixtures pin Series byte-exactly, and throughput is a speed
+	// report, not a paper curve. ppbench -json serializes it separately.
+	Throughput map[string]float64
 }
 
 func newFigure(id string, table *metrics.Table) *FigureResult {
-	return &FigureResult{ID: id, Table: table, Series: make(map[string][]float64)}
+	return &FigureResult{
+		ID: id, Table: table,
+		Series:     make(map[string][]float64),
+		Throughput: make(map[string]float64),
+	}
 }
 
 func (f *FigureResult) add(series string, v float64) {
 	f.Series[series] = append(f.Series[series], v)
+}
+
+// recordThroughput stores each completed run's simulated throughput
+// under its spec name, giving every figure a device-ops/sec series
+// without touching the golden-pinned Series. Skipped rows (fail-fast
+// leftovers) are dropped, like everywhere else results are tabulated.
+func (f *FigureResult) recordThroughput(specs []RunSpec, results []Result) {
+	for i, res := range results {
+		if res.Skipped {
+			continue
+		}
+		f.Throughput[specs[i].Name] = res.SimOpsPerSec
+	}
 }
 
 // pairSpecs builds the conventional/PPB spec pair of one comparison
@@ -84,6 +107,7 @@ func enhancementFigure(s Scale, id, title string, metric func(conv, ppb Result) 
 	}
 	tbl := metrics.NewTable(title, "trace", "8K page size", "16K page size")
 	fig := newFigure(id, tbl)
+	fig.recordThroughput(specs, results)
 	i := 0
 	for _, tr := range paperTraces {
 		cells := []any{tr}
@@ -122,6 +146,7 @@ func latencySweep(s Scale, id, title, traceName string, read bool) (*FigureResul
 	}
 	tbl := metrics.NewTable(title, "speed diff", "conventional FTL (s)", "FTL with PPB (s)", "delta")
 	fig := newFigure(id, tbl)
+	fig.recordThroughput(specs, results)
 	for i, ratio := range ratios {
 		conv, ppb := results[2*i], results[2*i+1]
 		cv, pv := conv.ReadTotal.Seconds(), ppb.ReadTotal.Seconds()
@@ -177,6 +202,7 @@ func Figure18(s Scale) (*FigureResult, error) {
 	tbl := metrics.NewTable("Figure 18: Erased Block Count Comparison",
 		"trace", "conventional FTL", "FTL with PPB", "delta")
 	fig := newFigure("figure-18", tbl)
+	fig.recordThroughput(specs, results)
 	for i, tr := range paperTraces {
 		conv, ppb := results[2*i], results[2*i+1]
 		fig.add(tr+"/conventional", float64(conv.Erases))
@@ -214,6 +240,7 @@ func MotivationFigure3(s Scale) (*FigureResult, error) {
 	tbl := metrics.NewTable("Motivation (Figure 3): GC cost of naive speed placement (websql)",
 		"strategy", "GC copies", "erases", "WAF", "read total (s)")
 	fig := newFigure("motivation-3", tbl)
+	fig.recordThroughput(specs, results)
 	for i, kind := range kinds {
 		res := results[i]
 		fig.add(string(kind)+"/copies", float64(res.GCCopies))
@@ -248,6 +275,7 @@ func AblationSplit(s Scale) (*FigureResult, error) {
 	tbl := metrics.NewTable("Ablation: virtual-block split factor (websql, 2x)",
 		"K", "read total (s)", "write total (s)", "migrations", "diversions")
 	fig := newFigure("ablation-split", tbl)
+	fig.recordThroughput(specs, results)
 	for i, k := range ks {
 		res := results[i]
 		fig.add("read", res.ReadTotal.Seconds())
@@ -292,6 +320,7 @@ func AblationIdentifier(s Scale) (*FigureResult, error) {
 	tbl := metrics.NewTable("Ablation: first-stage identifier (websql, 2x)",
 		"identifier", "read total (s)", "read enhancement", "fast-read share")
 	fig := newFigure("ablation-identifier", tbl)
+	fig.recordThroughput(specs, results)
 	for i, id := range idents {
 		res := results[i+1]
 		e := metrics.Enhancement(conv.ReadTotal, res.ReadTotal)
@@ -332,6 +361,7 @@ func AblationLayers(s Scale) (*FigureResult, error) {
 	tbl := metrics.NewTable("Ablation: gate stack layers (websql, 2x)",
 		"layers", "conventional read (s)", "ppb read (s)", "enhancement")
 	fig := newFigure("ablation-layers", tbl)
+	fig.recordThroughput(specs, results)
 	for i, layers := range layerCounts {
 		conv, ppb := results[2*i], results[2*i+1]
 		e := metrics.Enhancement(conv.ReadTotal, ppb.ReadTotal)
@@ -390,6 +420,7 @@ func ChipSweep(s Scale) (*FigureResult, error) {
 	tbl := metrics.NewTable("Experiment a4: chip-parallel tail latency and makespan (ratio 2x)",
 		"trace", "chips", "conv makespan (s)", "ppb makespan (s)", "read enhancement", "ppb read p99", "ppb write p99")
 	fig := newFigure("a4-chip-sweep", tbl)
+	fig.recordThroughput(specs, results)
 	i := 0
 	for _, tr := range paperTraces {
 		for _, chips := range ChipSweepCounts {
@@ -448,6 +479,7 @@ func QDSweep(s Scale) (*FigureResult, error) {
 	tbl := metrics.NewTable("Experiment a5: queue-depth sweep on 4 chips (ratio 2x)",
 		"trace", "QD", "conv makespan (s)", "ppb makespan (s)", "ppb read p99", "ppb write p99", "conv qdelay p99", "ppb qdelay p99")
 	fig := newFigure("a5-qd-sweep", tbl)
+	fig.recordThroughput(specs, results)
 	i := 0
 	for _, tr := range paperTraces {
 		for _, qd := range QDSweepDepths {
@@ -515,6 +547,7 @@ func DispatchSweep(s Scale) (*FigureResult, error) {
 	tbl := metrics.NewTable("Experiment a6: chip-dispatch policy x queue depth on 4 chips (ratio 2x)",
 		"trace", "dispatch", "QD", "conv makespan (s)", "ppb makespan (s)", "conv qdelay p99", "ppb qdelay p99", "ppb read p99")
 	fig := newFigure("a6-dispatch-sweep", tbl)
+	fig.recordThroughput(specs, results)
 	i := 0
 	for _, tr := range paperTraces {
 		for _, policy := range DispatchPolicies {
@@ -600,6 +633,7 @@ func CausalSweep(s Scale) (*FigureResult, error) {
 	tbl := metrics.NewTable("Experiment a7: dependency model x erase deferral x dispatch (websql, 4 chips, QD 8)",
 		"dependency", "deferral", "dispatch", "conv makespan (s)", "ppb makespan (s)", "conv read p99", "ppb read p99", "conv erases", "ppb erases")
 	fig := newFigure("a7-causal-sweep", tbl)
+	fig.recordThroughput(specs, results)
 	i := 0
 	for _, dep := range CausalDependencyModels {
 		for _, deferOn := range CausalDeferModes {

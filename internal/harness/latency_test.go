@@ -106,7 +106,7 @@ func TestErasesExcludePrePlayWork(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	res := collect(spec, f, eraseBase, nand.ReliabilityStats{}, 0, rm)
+	res := collect(spec, f, eraseBase, nand.ReliabilityStats{}, 0, 0, rm)
 	if res.Erases != 0 {
 		t.Errorf("read-only window reported %d erases (pre-window count %d leaked in)",
 			res.Erases, eraseBase)
@@ -173,7 +173,7 @@ func TestMultiChipRunsDeterministicUnderRunAll(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if parallel[i] != seq {
+		if parallel[i].Canonical() != seq.Canonical() {
 			t.Errorf("spec %d (%s): parallel %+v != sequential %+v", i, spec.Name, parallel[i], seq)
 		}
 	}

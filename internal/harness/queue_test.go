@@ -304,7 +304,7 @@ func TestQueuedRunsDeterministicUnderRunAll(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if parallel[i] != seq {
+		if parallel[i].Canonical() != seq.Canonical() {
 			t.Errorf("spec %d (%s): parallel %+v != sequential %+v", i, spec.Name, parallel[i], seq)
 		}
 	}

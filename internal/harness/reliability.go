@@ -155,6 +155,7 @@ func ReliabilitySweep(s Scale) (*FigureResult, error) {
 	tbl := metrics.NewTable("Experiment a9: reliability engine — BER profile x wear policy x FTL (websql, ratio 2x)",
 		"point", "retry rate", "mean retries", "uncorrectable", "retired blocks", "lifetime writes")
 	fig := newFigure("a9-reliability-sweep", tbl)
+	fig.recordThroughput(specs, results)
 	i := 0
 	for _, prof := range ReliabilityProfiles {
 		for _, wear := range ReliabilityWearPolicies {

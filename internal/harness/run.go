@@ -14,6 +14,7 @@ import (
 	"ppbflash/internal/ftl"
 	"ppbflash/internal/metrics"
 	"ppbflash/internal/nand"
+	"ppbflash/internal/sched"
 	"ppbflash/internal/trace"
 	"ppbflash/internal/vblock"
 	"ppbflash/internal/workload"
@@ -145,6 +146,21 @@ type Result struct {
 	// chips, overlapped operations shrink it.
 	Makespan time.Duration
 
+	// Throughput of the measured replay. DeviceOps counts the device page
+	// reads, programs and erases of the trace era; SimOpsPerSec divides
+	// them by the simulated makespan — the device-ops-per-simulated-second
+	// speed signal ROADMAP item 1 asks for, deterministic like every other
+	// simulated number. ReplayEvents counts the discrete events the event
+	// loop processed (arrivals, issues, completions, erase commits) — also
+	// deterministic — while ReplayWall and WallEventsPerSec measure the
+	// simulator's own host-side speed and are NOT deterministic: equality
+	// comparisons must go through Canonical().
+	DeviceOps        uint64
+	SimOpsPerSec     float64
+	ReplayEvents     uint64
+	ReplayWall       time.Duration
+	WallEventsPerSec float64
+
 	// Reliability outcomes of the measured trace (all zero with the
 	// model off — see RunSpec.Reliability). RetiredBlocks is cumulative
 	// (the capacity permanently lost, including prefill-era
@@ -166,6 +182,17 @@ type Result struct {
 	Migrations uint64
 	Diversions uint64
 	Demotions  uint64
+}
+
+// Canonical returns the result with its wall-clock-derived fields
+// (ReplayWall, WallEventsPerSec) zeroed: the deterministic projection of
+// a run. Tests comparing results across host parallelism or scheduler
+// implementations compare Canonical() values — everything else in a
+// Result is a simulated number and must match exactly.
+func (r Result) Canonical() Result {
+	r.ReplayWall = 0
+	r.WallEventsPerSec = 0
+	return r
 }
 
 // buildFTL constructs the FTL for a spec.
@@ -259,12 +286,13 @@ func Run(spec RunSpec) (Result, error) {
 	eraseBase := dev.TotalErases()
 	relBase := dev.ReliabilityStats()
 	readsBase := dev.Stats().Reads.Value()
+	opsBase := readsBase + dev.Stats().Programs.Value() + dev.TotalErases()
 	rm := NewReplayMetrics()
 	opts := ReplayOptions{QueueDepth: spec.QueueDepth, OpenLoop: spec.OpenLoop}
 	if err := ReplayQueued(f, gen, rm, opts); err != nil {
 		return Result{}, fmt.Errorf("harness: %s: %w", spec.Name, err)
 	}
-	return collect(spec, f, eraseBase, relBase, readsBase, rm), nil
+	return collect(spec, f, eraseBase, relBase, readsBase, opsBase, rm), nil
 }
 
 // RunAll executes the specs on a pool of parallelism workers and returns
@@ -403,6 +431,45 @@ func RunPageOps(f ftl.FTL, n int) error {
 	return nil
 }
 
+// EventLoopQueueDepth is the closed-loop host queue depth of the
+// event-loop microbenchmark: deep enough that the event heap holds a
+// real mix of completion and issue events instead of degenerating to the
+// depth-1 ping-pong.
+const EventLoopQueueDepth = 8
+
+// RunEventLoop replays n synthetic single-page requests through the
+// measured discrete-event replay (ReplayQueued, closed loop at
+// EventLoopQueueDepth) against f, alternating a write with a read-back
+// of the same page across the logical space. BenchmarkEventLoop and
+// `ppbench -json` share this one body so both measure the same hot path;
+// its steady state must stay at 0 allocs/op (the CI alloc smoke checks).
+// m accumulates across calls.
+func RunEventLoop(f ftl.FTL, m *ReplayMetrics, n int) error {
+	span := f.LogicalPages()
+	pageSize := uint32(f.Device().Config().PageSize)
+	i := 0
+	gen := &workload.Func{
+		WorkloadName: "eventloop",
+		Bytes:        span * uint64(pageSize),
+		NextFunc: func() (trace.Request, bool) {
+			if i >= n {
+				return trace.Request{}, false
+			}
+			r := trace.Request{
+				Op:     trace.OpWrite,
+				Offset: (uint64(i) / 2 % span) * uint64(pageSize),
+				Size:   pageSize,
+			}
+			if i%2 == 1 {
+				r.Op = trace.OpRead
+			}
+			i++
+			return r, true
+		},
+	}
+	return ReplayQueued(f, gen, m, ReplayOptions{QueueDepth: EventLoopQueueDepth})
+}
+
 // prefill writes every logical page once, in order, as bulk cold data.
 func prefill(f ftl.FTL) error {
 	// A large request size makes the size-check identifier treat prefill
@@ -430,6 +497,15 @@ type ReplayMetrics struct {
 	ReadLatency  *metrics.Histogram
 	WriteLatency *metrics.Histogram
 	QueueDelay   *metrics.Histogram // nil skips queue-delay recording
+
+	// Events counts the discrete events the replay's event loop popped
+	// (arrivals, issues, completions, erase commits) and Wall accumulates
+	// the host wall-clock time the measured replay took. Events is a
+	// deterministic property of the simulation; Wall is not — Result
+	// derives WallEventsPerSec from the pair and Canonical() masks the
+	// wall-clock side for equality comparisons.
+	Events uint64
+	Wall   time.Duration
 }
 
 // NewReplayMetrics builds latency histograms with the default request
@@ -464,48 +540,65 @@ type ReplayOptions struct {
 	OpenLoop bool
 }
 
-// Replay feeds every request of the generator through the FTL,
-// splitting byte ranges into page operations. Latency is not recorded;
-// use ReplayMeasured or ReplayQueued for per-request percentiles.
-func Replay(f ftl.FTL, gen workload.Generator) error {
-	return ReplayQueued(f, gen, nil, ReplayOptions{})
+// Replay feeds every request of the stream through the FTL, splitting
+// byte ranges into page operations. Latency is not recorded; use
+// ReplayMeasured or ReplayQueued for per-request percentiles.
+func Replay(f ftl.FTL, src trace.Stream) error {
+	return ReplayQueued(f, src, nil, ReplayOptions{})
 }
 
 // ReplayMeasured is Replay recording per-request completion latency into
 // m under the classic closed loop at queue depth 1 (nil m skips
 // measurement and leaves the device issue clock alone).
-func ReplayMeasured(f ftl.FTL, gen workload.Generator, m *ReplayMetrics) error {
-	return ReplayQueued(f, gen, m, ReplayOptions{})
+func ReplayMeasured(f ftl.FTL, src trace.Stream, m *ReplayMetrics) error {
+	return ReplayQueued(f, src, m, ReplayOptions{})
 }
 
-// ReplayQueued replays the generator under a host queueing model: an
-// issue/completion event loop over the device's per-chip clocks.
+// ReplayQueued replays the stream under a host queueing model, as one
+// discrete-event loop over a single time-ordered heap (internal/sched):
+// open-loop arrivals, queue-slot issues, per-request completions and
+// deferred-erase deadline commits are all first-class events popped in
+// (time, FIFO) order, so the whole replay is a deterministic fold over
+// one event sequence.
 //
-// Closed loop (the default): up to QueueDepth requests are outstanding at
-// once. When all slots are full the host blocks until the earliest
-// outstanding completion, advances the issue clock there, and issues the
-// next request — at depth 1 this degenerates to exactly the classic
-// measured replay (each request issues at the previous one's completion),
-// so results are bit-identical to the pre-queueing harness.
+// Closed loop (the default): up to QueueDepth requests are outstanding
+// at once. A pulled request schedules its issue event immediately when a
+// slot is free (at the current issue clock), otherwise it waits for the
+// next completion event, which schedules the issue at its own time — at
+// depth 1 this degenerates to exactly the classic measured replay (each
+// request issues at the previous one's completion), so results are
+// bit-identical to the pre-queueing harness.
 //
-// Open loop: requests are issued at their trace.Request.Time arrivals
+// Open loop: each request arrives as an event at its trace.Request.Time
 // (clamped to be monotone) and latency is measured from arrival, so the
 // recorded queueing delay grows with any backlog the device accumulates.
-// QueueDepth still caps the outstanding requests; a request that arrives
-// with all slots full waits — in queueing delay — for a completion.
+// QueueDepth still caps the outstanding requests; a request whose
+// arrival pops with all slots full waits — in queueing delay — for a
+// completion.
+//
+// The stream is pulled with a lookahead of exactly one request (pulled
+// when its predecessor issues), so a trace never materializes beyond the
+// single in-flight request no matter how long it is.
 //
 // Requests that schedule no device operation (reads of never-written
 // LPNs) complete instantly, occupy no slot and record no sample:
 // observing their 0 would drag the read percentiles toward zero on
 // non-prefilled replays.
 //
+// Erases parked by the device's deferral policy register a deadline
+// event through nand.Device.SetDeferralNotify and commit when it pops
+// (an erase the op-time scan already committed makes the event a no-op),
+// so the drain needs no side-channel flush: popping the heap dry IS the
+// drain, and the host clock ends at the last completion — the same
+// instant the classic loop always ended on.
+//
 // nil m skips measurement and the host model entirely (plain Replay).
-func ReplayQueued(f ftl.FTL, gen workload.Generator, m *ReplayMetrics, opts ReplayOptions) error {
+func ReplayQueued(f ftl.FTL, src trace.Stream, m *ReplayMetrics, opts ReplayOptions) error {
 	dev := f.Device()
 	pageSize := dev.Config().PageSize
 	if m == nil {
 		for {
-			r, ok := gen.Next()
+			r, ok := src.Next()
 			if !ok {
 				dev.FlushDeferredErases()
 				return nil
@@ -519,63 +612,98 @@ func ReplayQueued(f ftl.FTL, gen workload.Generator, m *ReplayMetrics, opts Repl
 	if qd < 1 {
 		qd = 1
 	}
+	wallStart := time.Now()
 	var (
-		pending     completionQueue // outstanding request completions
-		lastArrival time.Duration   // monotone clamp of open-loop arrivals
+		events      sched.Queue
+		pending     int           // outstanding requests (completion events in flight)
+		lastArrival time.Duration // monotone clamp of open-loop arrivals
+		cur         trace.Request // the single in-flight request (pulled, not yet issued)
+		curArrival  time.Duration // its clamped arrival, open loop only
+		waiting     bool          // cur found every slot full; next completion issues it
+		popped      uint64
 	)
-	for {
-		r, ok := gen.Next()
+	dev.SetDeferralNotify(func(chip int, deadline time.Duration) {
+		events.Push(sched.Event{Time: deadline, Kind: sched.KindEraseCommit, Chip: int32(chip)})
+	})
+	defer dev.SetDeferralNotify(nil)
+
+	// pull fetches the next request and schedules how it enters the
+	// queue: open loop as an arrival event at its trace time, closed loop
+	// as an issue event at the current clock when a slot is free — or as
+	// the waiting request a future completion will issue.
+	pull := func() {
+		r, ok := src.Next()
 		if !ok {
-			break
+			return
 		}
-		var issue time.Duration
+		cur = r
 		if opts.OpenLoop {
-			// The request arrives at its trace time; completions up to
-			// that moment have freed their slots. If the queue is still
-			// full, the request waits for the earliest completion — that
-			// wait lands in its queueing delay because latency is
-			// measured from arrival either way.
 			arrival := r.Time
 			if arrival < lastArrival {
 				arrival = lastArrival
 			}
 			lastArrival = arrival
-			for pending.Len() > 0 && pending.Min() <= arrival {
-				pending.PopMin()
-			}
-			dispatch := arrival
-			for pending.Len() >= qd {
-				if c := pending.PopMin(); c > dispatch {
-					dispatch = c
-				}
-			}
-			dev.AdvanceTo(dispatch)
-			issue = arrival
+			curArrival = arrival
+			events.Push(sched.Event{Time: arrival, Kind: sched.KindArrival})
+		} else if pending < qd {
+			events.Push(sched.Event{Time: dev.Now(), Kind: sched.KindIssue})
 		} else {
-			for pending.Len() >= qd {
-				dev.AdvanceTo(pending.PopMin())
+			waiting = true
+		}
+	}
+	pull()
+	for events.Len() > 0 {
+		e := events.Pop()
+		popped++
+		switch e.Kind {
+		case sched.KindArrival:
+			if pending < qd {
+				events.Push(sched.Event{Time: e.Time, Kind: sched.KindIssue})
+			} else {
+				waiting = true
 			}
-			issue = dev.Now()
+		case sched.KindIssue:
+			dev.AdvanceTo(e.Time)
+			issue := e.Time
+			if opts.OpenLoop {
+				// Latency is measured from arrival either way; any slot
+				// wait between arrival and this issue lands in the
+				// request's queueing delay.
+				issue = curArrival
+			}
+			r := cur
+			dev.BeginBurst()
+			if err := issueRequest(f, r, pageSize); err != nil {
+				return err
+			}
+			if dev.BurstOps() > 0 {
+				fin := dev.BurstFinish()
+				m.observe(r.Op, fin-issue, dev.BurstStart()-issue)
+				events.Push(sched.Event{Time: fin, Kind: sched.KindCompletion})
+				pending++
+			}
+			pull()
+		case sched.KindCompletion:
+			dev.AdvanceTo(e.Time)
+			pending--
+			if waiting {
+				waiting = false
+				events.Push(sched.Event{Time: e.Time, Kind: sched.KindIssue})
+			}
+		case sched.KindEraseCommit:
+			dev.CommitDeferredDeadline(int(e.Chip), e.Time)
 		}
-		dev.BeginBurst()
-		if err := issueRequest(f, r, pageSize); err != nil {
-			return err
-		}
-		if dev.BurstOps() == 0 {
-			continue
-		}
-		fin := dev.BurstFinish()
-		m.observe(r.Op, fin-issue, dev.BurstStart()-issue)
-		pending.Push(fin)
 	}
-	// Drain: the host clock ends at the last outstanding completion, the
-	// same instant the classic queue-depth-1 loop always ended on. Any
-	// erases still parked in the deferred queues are committed so the
-	// makespan accounts for them (no-op unless erase deferral is on).
-	for pending.Len() > 0 {
-		dev.AdvanceTo(pending.PopMin())
+	if dev.DeferredErases() > 0 {
+		// Erases parked before this replay began predate the deferral
+		// notify hook and therefore have no deadline events; book them the
+		// way the classic drain always did. Replay-era erases all commit
+		// through their deadline events (or the op-time scan), so on the
+		// normal path the queues are empty and this never runs.
+		dev.FlushDeferredErases()
 	}
-	dev.FlushDeferredErases()
+	m.Events += popped
+	m.Wall += time.Since(wallStart)
 	return nil
 }
 
@@ -624,60 +752,7 @@ func issueRequest(f ftl.FTL, r trace.Request, pageSize int) error {
 	return nil
 }
 
-// completionQueue is a minimal min-heap of outstanding request completion
-// times — the pending-completion event queue of the host model. A plain
-// duration heap keeps the replay hot path free of interface boxing and,
-// once grown to the queue depth, of allocations.
-type completionQueue []time.Duration
-
-// Len returns the number of outstanding completions.
-func (q completionQueue) Len() int { return len(q) }
-
-// Min returns the earliest outstanding completion (q must be non-empty).
-func (q completionQueue) Min() time.Duration { return q[0] }
-
-// Push adds a completion time.
-func (q *completionQueue) Push(t time.Duration) {
-	h := append(*q, t)
-	i := len(h) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if h[p] <= h[i] {
-			break
-		}
-		h[p], h[i] = h[i], h[p]
-		i = p
-	}
-	*q = h
-}
-
-// PopMin removes and returns the earliest completion (q must be non-empty).
-func (q *completionQueue) PopMin() time.Duration {
-	h := *q
-	min := h[0]
-	n := len(h) - 1
-	h[0] = h[n]
-	h = h[:n]
-	for i := 0; ; {
-		l, r := 2*i+1, 2*i+2
-		s := i
-		if l < n && h[l] < h[s] {
-			s = l
-		}
-		if r < n && h[r] < h[s] {
-			s = r
-		}
-		if s == i {
-			break
-		}
-		h[i], h[s] = h[s], h[i]
-		i = s
-	}
-	*q = h
-	return min
-}
-
-func collect(spec RunSpec, f ftl.FTL, eraseBase uint64, relBase nand.ReliabilityStats, readsBase uint64, rm *ReplayMetrics) Result {
+func collect(spec RunSpec, f ftl.FTL, eraseBase uint64, relBase nand.ReliabilityStats, readsBase, opsBase uint64, rm *ReplayMetrics) Result {
 	st := f.Stats()
 	res := Result{
 		Name:          spec.Name,
@@ -704,6 +779,16 @@ func collect(spec RunSpec, f ftl.FTL, eraseBase uint64, relBase nand.Reliability
 			res.QueueDelayP99 = rm.QueueDelay.Quantile(0.99)
 		}
 		res.Makespan = f.Device().Makespan()
+		ds := f.Device().Stats()
+		res.DeviceOps = ds.Reads.Value() + ds.Programs.Value() + f.Device().TotalErases() - opsBase
+		if s := res.Makespan.Seconds(); s > 0 {
+			res.SimOpsPerSec = float64(res.DeviceOps) / s
+		}
+		res.ReplayEvents = rm.Events
+		res.ReplayWall = rm.Wall
+		if s := rm.Wall.Seconds(); s > 0 {
+			res.WallEventsPerSec = float64(rm.Events) / s
+		}
 	}
 	if reads := st.FastReads.Value() + st.SlowReads.Value(); reads > 0 {
 		res.FastReadShare = float64(st.FastReads.Value()) / float64(reads)

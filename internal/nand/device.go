@@ -138,9 +138,12 @@ type Device struct {
 	nextReady  time.Duration
 
 	// Deferred-erase state (see SetEraseDeferral): deferWindow > 0
-	// enables deferral, deferred[c] is chip c's FIFO of pending erases.
+	// enables deferral, deferred[c] is chip c's FIFO of pending erases,
+	// deferNotify (when set) is told about every newly parked erase so an
+	// event-driven replay can schedule its deadline commit.
 	deferWindow time.Duration
 	deferred    [][]deferredErase
+	deferNotify func(chip int, deadline time.Duration)
 
 	// Reliability model state (nil when disabled — see SetReliability)
 	// and the incrementally-maintained highest per-block erase count.
@@ -321,9 +324,47 @@ func (d *Device) DeferredErases() int {
 	return n
 }
 
+// SetDeferralNotify registers fn to be called whenever an erase is
+// parked in a deferred queue, with the chip it parked on and the
+// deadline by which it must commit. An event-driven replay uses the hook
+// to schedule a deadline-commit event (see internal/sched) instead of
+// flushing blindly at drain; pass nil to unregister. The callback fires
+// synchronously inside Erase, so it must not call back into the device.
+func (d *Device) SetDeferralNotify(fn func(chip int, deadline time.Duration)) {
+	d.deferNotify = fn
+}
+
+// CommitDeferredDeadline books the chip's deferred erases whose deadline
+// has passed at now, in FIFO order, each starting at max(chip free, its
+// arm time) — exactly the booking commitEligible's deadline branch or
+// FlushDeferredErases would produce. The event loop calls it when a
+// deadline event pops; an erase the op-time scan already committed is
+// simply no longer queued, so stale events are harmless no-ops.
+func (d *Device) CommitDeferredDeadline(chip int, now time.Duration) {
+	if d.deferred == nil || chip < 0 || chip >= len(d.deferred) {
+		return
+	}
+	q := d.deferred[chip]
+	n := 0
+	for n < len(q) && q[n].deadline <= now {
+		e := q[n]
+		start := d.chipFree[chip]
+		if e.arm > start {
+			start = e.arm
+		}
+		d.chipFree[chip] = start + e.cost
+		n++
+	}
+	if n > 0 {
+		d.deferred[chip] = q[:copy(q, q[n:])]
+	}
+}
+
 // FlushDeferredErases commits every pending deferred erase at its chip's
-// current free time. The harness calls it when a replay drains, so the
-// makespan accounts for erase work that never found an idle gap.
+// current free time. The harness calls it when an unmeasured replay
+// drains, so the makespan accounts for erase work that never found an
+// idle gap; the measured event loop instead commits per-deadline events
+// (CommitDeferredDeadline) and needs no drain-time flush.
 func (d *Device) FlushDeferredErases() {
 	for chip := range d.deferred {
 		for _, e := range d.deferred[chip] {
@@ -632,6 +673,9 @@ func (d *Device) eraseBlock(b BlockID, blk *blockState) time.Duration {
 		d.deferred[chip] = append(d.deferred[chip], deferredErase{
 			block: b, cost: d.cfg.EraseLatency, arm: arm, deadline: arm + d.deferWindow,
 		})
+		if d.deferNotify != nil {
+			d.deferNotify(chip, arm+d.deferWindow)
+		}
 	} else {
 		d.schedule(b, d.cfg.EraseLatency)
 	}

@@ -94,6 +94,18 @@ func (m *MSRReader) Next() (MSRRecord, error) {
 	return MSRRecord{}, io.EOF
 }
 
+// Stream adapts the reader into a pull-based Stream for replay: each
+// Next yields one record's Request, a parse or I/O error ends the stream
+// and is reported by the returned stream's Err (io.EOF reads as a clean
+// end). This is the replay-path entry point; ReadAll remains for callers
+// that genuinely want the trace in memory (tracegen, tests).
+func (m *MSRReader) Stream() *ErrStream {
+	return NewErrStream(func() (Request, error) {
+		rec, err := m.Next()
+		return rec.Request, err
+	})
+}
+
 // ReadAll consumes the stream into a request slice.
 func (m *MSRReader) ReadAll() ([]Request, error) {
 	var out []Request

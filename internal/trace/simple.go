@@ -12,27 +12,59 @@ import (
 // '#' comments — convenient for hand-written test fixtures and quick
 // experiments with cmd/flashsim.
 
-// ParseSimple reads the whole simple-format stream.
-func ParseSimple(r io.Reader) ([]Request, error) {
-	var out []Request
-	s := bufio.NewScanner(r)
-	line := 0
-	for s.Scan() {
-		line++
-		text := strings.TrimSpace(s.Text())
+// SimpleReader streams requests from a simple-format trace, one line per
+// Next, mirroring MSRReader's shape so both formats plug into the same
+// replay path.
+type SimpleReader struct {
+	s    *bufio.Scanner
+	line int
+}
+
+// NewSimpleReader wraps r for streaming reads of simple-format requests.
+func NewSimpleReader(r io.Reader) *SimpleReader {
+	return &SimpleReader{s: bufio.NewScanner(r)}
+}
+
+// Next returns the next request, or io.EOF at end of trace.
+func (p *SimpleReader) Next() (Request, error) {
+	for p.s.Scan() {
+		p.line++
+		text := strings.TrimSpace(p.s.Text())
 		if text == "" || strings.HasPrefix(text, "#") {
 			continue
 		}
 		req, err := parseSimpleLine(text)
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			return Request{}, fmt.Errorf("trace: line %d: %w", p.line, err)
+		}
+		return req, nil
+	}
+	if err := p.s.Err(); err != nil {
+		return Request{}, err
+	}
+	return Request{}, io.EOF
+}
+
+// Stream adapts the reader into a pull-based Stream for replay, with the
+// same error contract as MSRReader.Stream.
+func (p *SimpleReader) Stream() *ErrStream {
+	return NewErrStream(p.Next)
+}
+
+// ParseSimple reads the whole simple-format stream into a slice.
+func ParseSimple(r io.Reader) ([]Request, error) {
+	p := NewSimpleReader(r)
+	var out []Request
+	for {
+		req, err := p.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
 		}
 		out = append(out, req)
 	}
-	if err := s.Err(); err != nil {
-		return nil, err
-	}
-	return out, nil
 }
 
 func parseSimpleLine(text string) (Request, error) {

@@ -22,15 +22,18 @@ import (
 	"ppbflash/internal/trace"
 )
 
-// Generator streams a deterministic request sequence.
+// Generator streams a deterministic request sequence. It is a
+// trace.Stream plus the metadata a harness needs to size the device and
+// label the run, so any generator plugs directly into the replay loop.
 type Generator interface {
 	// Name identifies the workload (used in result tables).
 	Name() string
 	// LogicalBytes is the highest logical byte the stream may touch; the
 	// FTL's logical space must be at least this large.
 	LogicalBytes() uint64
-	// Next returns the next request, or ok=false when the stream ends.
-	Next() (r trace.Request, ok bool)
+	// Stream supplies the requests: Next returns the next request, or
+	// ok=false when the stream ends.
+	trace.Stream
 }
 
 // Collect drains a generator into a slice (tests and tracegen only; the

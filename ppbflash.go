@@ -223,7 +223,13 @@ type (
 	Request = trace.Request
 	// Op is a request direction.
 	Op = trace.Op
-	// Generator streams a deterministic synthetic workload.
+	// Stream is the pull-based request source every replay consumes:
+	// Next returns the next request, or ok=false at end of stream. Trace
+	// readers and workload generators implement it, so traces replay
+	// without in-memory materialization.
+	Stream = trace.Stream
+	// Generator streams a deterministic synthetic workload (a Stream
+	// plus sizing/labeling metadata).
 	Generator = workload.Generator
 	// MediaServerConfig parameterizes the media-server stand-in trace.
 	MediaServerConfig = workload.MediaConfig
@@ -312,29 +318,36 @@ var FTLKindNames = harness.FTLKindNames
 // RunPageOps executes n iterations of the standard page-op loop.
 func RunPageOps(f FTL, n int) error { return harness.RunPageOps(f, n) }
 
-// Replay feeds a generator through an FTL, splitting requests into pages.
-func Replay(f FTL, gen Generator) error { return harness.Replay(f, gen) }
+// Replay feeds a request stream through an FTL, splitting requests into
+// pages.
+func Replay(f FTL, src Stream) error { return harness.Replay(f, src) }
 
 // ReplayMeasured is Replay recording per-request completion latency under
 // the device's chip-parallel service model into m (build m with
 // NewReplayMetrics; nil skips measurement). It is the classic closed loop
 // at queue depth 1; use ReplayQueued for deeper queues or open-loop
 // arrivals.
-func ReplayMeasured(f FTL, gen Generator, m *ReplayMetrics) error {
-	return harness.ReplayMeasured(f, gen, m)
+func ReplayMeasured(f FTL, src Stream, m *ReplayMetrics) error {
+	return harness.ReplayMeasured(f, src, m)
 }
 
-// ReplayQueued replays the generator under a host queueing model: a
-// closed loop keeping ReplayOptions.QueueDepth requests outstanding, or —
-// with ReplayOptions.OpenLoop — an open loop issuing requests at their
-// trace arrival times and recording queueing delay alongside completion
+// ReplayQueued replays the stream under a host queueing model, as a
+// discrete-event loop over one time-ordered event heap: a closed loop
+// keeping ReplayOptions.QueueDepth requests outstanding, or — with
+// ReplayOptions.OpenLoop — an open loop issuing requests at their trace
+// arrival times and recording queueing delay alongside completion
 // latency. A nil m skips measurement and the host model entirely (the
 // options are ignored and requests replay back to back, like Replay);
 // pass NewReplayMetrics() when the queueing model should shape the
 // device clocks.
-func ReplayQueued(f FTL, gen Generator, m *ReplayMetrics, opts ReplayOptions) error {
-	return harness.ReplayQueued(f, gen, m, opts)
+func ReplayQueued(f FTL, src Stream, m *ReplayMetrics, opts ReplayOptions) error {
+	return harness.ReplayQueued(f, src, m, opts)
 }
+
+// RunEventLoop replays n synthetic requests through the measured
+// discrete-event replay loop — the shared body of BenchmarkEventLoop and
+// ppbench -json's EventLoop microbenchmark.
+func RunEventLoop(f FTL, m *ReplayMetrics, n int) error { return harness.RunEventLoop(f, m, n) }
 
 // NewReplayMetrics builds request-latency histograms for ReplayMeasured.
 func NewReplayMetrics() *ReplayMetrics { return harness.NewReplayMetrics() }
