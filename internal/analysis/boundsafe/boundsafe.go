@@ -1,0 +1,482 @@
+// Package boundsafe machine-checks the bounds-safety contract the PR 3
+// and PR 4 reviews established by convention: read-only introspection
+// accessors on the simulator's state-holding types must degrade to zero
+// values on out-of-range input instead of panicking on a slice index —
+// FTL policies, dispatch plugins and tests probe them freely with
+// untrusted indices.
+//
+// A type opts into the contract by carrying //flashvet:boundsafe in its
+// type declaration's doc comment (nand.Device and vblock.Manager do).
+// For every exported method on such a type that returns at least one
+// value and no error (the accessor shape — mutating lifecycle methods
+// return errors and may assume ownership invariants), the analyzer
+// taints the method's parameters, propagates the taint through
+// assignments, conversions, arithmetic and calls, and then requires
+// every slice/array index whose index expression mentions a tainted
+// variable to be dominated by an explicit bounds comparison on that
+// variable:
+//
+//   - an if-guard the index sits inside: if i >= 0 && i < len(s) { s[i] },
+//   - an early-exit guard before it: if i >= len(s) { return 0 } ... s[i],
+//   - or a short-circuit chain: return i >= 0 && i < len(s) && s[i].ok.
+//
+// Elements read out of trusted containers (range values, indexed loads)
+// are NOT tainted: only the caller-controlled index itself needs the
+// check, matching how blockAt-style helpers validate once and hand out
+// checked state.
+package boundsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ppbflash/internal/analysis/flashvet"
+)
+
+// Annotation marks a type whose exported accessors must be bounds-safe.
+const Annotation = "flashvet:boundsafe"
+
+// New returns the boundsafe analyzer.
+func New() *flashvet.Analyzer {
+	return &flashvet.Analyzer{
+		Name: "boundsafe",
+		Doc:  "exported accessors on //flashvet:boundsafe types must bounds-check parameter-derived indices",
+		Run:  run,
+	}
+}
+
+func run(pass *flashvet.Pass) error {
+	marked := markedTypes(pass)
+	if len(marked) == 0 {
+		return nil
+	}
+	for fn, body := range pass.Prog.Funcs {
+		if body.Pkg != pass.Pkg {
+			continue
+		}
+		if !fn.Exported() || !isAccessor(fn) {
+			continue
+		}
+		recv := fn.Signature().Recv()
+		if recv == nil || !marked[namedOf(recv.Type())] {
+			continue
+		}
+		checkMethod(pass, body.Decl, fn)
+	}
+	return nil
+}
+
+// markedTypes collects the package's types annotated //flashvet:boundsafe.
+func markedTypes(pass *flashvet.Pass) map[*types.Named]bool {
+	marked := make(map[*types.Named]bool)
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				if !flashvet.DocHasAnnotation(doc, Annotation) {
+					continue
+				}
+				if obj, ok := pass.Pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+					if named, ok := obj.Type().(*types.Named); ok {
+						marked[named] = true
+					}
+				}
+			}
+		}
+	}
+	return marked
+}
+
+// isAccessor reports the accessor shape: at least one result, none of
+// them an error.
+func isAccessor(fn *types.Func) bool {
+	res := fn.Signature().Results()
+	if res.Len() == 0 {
+		return false
+	}
+	for i := 0; i < res.Len(); i++ {
+		if res.At(i).Type().String() == "error" {
+			return false
+		}
+	}
+	return true
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// checkMethod taints the parameters and walks the body tracking which
+// tainted variables are guarded where.
+func checkMethod(pass *flashvet.Pass, fd *ast.FuncDecl, fn *types.Func) {
+	info := pass.Pkg.Info
+	tainted := make(map[types.Object]bool)
+	params := fn.Signature().Params()
+	for i := 0; i < params.Len(); i++ {
+		if isIndexLike(params.At(i).Type()) {
+			tainted[params.At(i)] = true
+		}
+	}
+	if len(tainted) == 0 {
+		return
+	}
+	w := &walker{pass: pass, info: info, fn: fn, tainted: tainted}
+	w.block(fd.Body, map[types.Object]bool{})
+}
+
+// isIndexLike limits taint to values that can reach an index: integers
+// and named integer types (BlockID, PPN, ...).
+func isIndexLike(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+type walker struct {
+	pass    *flashvet.Pass
+	info    *types.Info
+	fn      *types.Func
+	tainted map[types.Object]bool
+}
+
+// block walks statements in order. guarded is the set of tainted
+// objects proven in-bounds for the remainder of this block; it is
+// copied for nested scopes so a guard inside an if doesn't leak out.
+func (w *walker) block(b *ast.BlockStmt, guarded map[types.Object]bool) {
+	for _, stmt := range b.List {
+		w.stmt(stmt, guarded)
+	}
+}
+
+func copyGuards(g map[types.Object]bool) map[types.Object]bool {
+	c := make(map[types.Object]bool, len(g))
+	for k, v := range g {
+		c[k] = v
+	}
+	return c
+}
+
+func (w *walker) stmt(s ast.Stmt, guarded map[types.Object]bool) {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, guarded)
+		}
+		condGuards := w.comparedObjects(s.Cond)
+		w.expr(s.Cond, guarded, condGuards)
+		inner := copyGuards(guarded)
+		for obj := range condGuards {
+			inner[obj] = true
+		}
+		w.block(s.Body, inner)
+		if s.Else != nil {
+			w.stmt(s.Else, copyGuards(guarded))
+		}
+		// Early exit: a guard whose body terminates leaves the compared
+		// variables guarded for the rest of the enclosing block.
+		if terminates(s.Body) {
+			for obj := range condGuards {
+				guarded[obj] = true
+			}
+		}
+	case *ast.BlockStmt:
+		w.block(s, copyGuards(guarded))
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, guarded)
+		}
+		inner := copyGuards(guarded)
+		if s.Cond != nil {
+			for obj := range w.comparedObjects(s.Cond) {
+				inner[obj] = true // for i := ...; i < len(s); ... { s[i] }
+			}
+		}
+		w.block(s.Body, inner)
+	case *ast.RangeStmt:
+		w.expr(s.X, guarded, nil)
+		w.propagateRange(s)
+		w.block(s.Body, copyGuards(guarded))
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			w.expr(rhs, guarded, nil)
+		}
+		w.propagateAssign(s)
+		for _, lhs := range s.Lhs {
+			w.expr(lhs, guarded, nil)
+		}
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			w.expr(res, guarded, nil)
+		}
+	case *ast.ExprStmt:
+		w.expr(s.X, guarded, nil)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, guarded, nil)
+					}
+				}
+			}
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, guarded)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, guarded, nil)
+		}
+		for _, clause := range s.Body.List {
+			cc := clause.(*ast.CaseClause)
+			inner := copyGuards(guarded)
+			for _, e := range cc.List {
+				w.expr(e, guarded, nil)
+			}
+			for _, st := range cc.Body {
+				w.stmt(st, inner)
+			}
+		}
+	case *ast.IncDecStmt:
+		w.expr(s.X, guarded, nil)
+	case *ast.DeferStmt:
+		w.expr(s.Call, guarded, nil)
+	case *ast.GoStmt:
+		w.expr(s.Call, guarded, nil)
+	}
+}
+
+// propagateAssign taints LHS variables whose RHS mentions taint.
+func (w *walker) propagateAssign(s *ast.AssignStmt) {
+	taintedRHS := func(e ast.Expr) bool {
+		return w.exprTainted(e)
+	}
+	if len(s.Lhs) == len(s.Rhs) {
+		for i, lhs := range s.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && taintedRHS(s.Rhs[i]) {
+				if obj := w.defOrUse(id); obj != nil {
+					w.tainted[obj] = true
+				}
+			}
+		}
+		return
+	}
+	// n := f(x): multi-value from one call — taint every LHS.
+	if len(s.Rhs) == 1 && taintedRHS(s.Rhs[0]) {
+		for _, lhs := range s.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if obj := w.defOrUse(id); obj != nil {
+					w.tainted[obj] = true
+				}
+			}
+		}
+	}
+}
+
+// propagateRange: ranging over a tainted slice expression does NOT
+// taint the element (trusted container contents) and the index variable
+// of a range is always in bounds; nothing to do. Ranging over a tainted
+// *scalar* cannot happen. Kept explicit for documentation.
+func (w *walker) propagateRange(*ast.RangeStmt) {}
+
+// exprTainted reports whether the expression mentions a tainted object
+// outside of index positions (an element load s[i] launders the taint:
+// the container's contents are trusted).
+func (w *walker) exprTainted(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := w.defOrUse(e)
+		return obj != nil && w.tainted[obj]
+	case *ast.BinaryExpr:
+		return w.exprTainted(e.X) || w.exprTainted(e.Y)
+	case *ast.UnaryExpr:
+		return w.exprTainted(e.X)
+	case *ast.CallExpr:
+		for _, arg := range e.Args {
+			if w.exprTainted(arg) {
+				return true
+			}
+		}
+		return false
+	case *ast.StarExpr:
+		return w.exprTainted(e.X)
+	case *ast.SelectorExpr:
+		return false // field of anything: trusted state
+	case *ast.IndexExpr:
+		return false // element load: trusted contents
+	default:
+		return false
+	}
+}
+
+func (w *walker) defOrUse(id *ast.Ident) types.Object {
+	if obj := w.info.Defs[id]; obj != nil {
+		return obj
+	}
+	return w.info.Uses[id]
+}
+
+// comparedObjects returns the tainted objects mentioned in comparison
+// operands of the condition (any relational or equality operator —
+// this is a convention checker, not a range prover).
+func (w *walker) comparedObjects(cond ast.Expr) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+			for obj := range w.tainted {
+				if flashvet.MentionsObject(w.info, be.X, obj) || mentionsDef(w.info, be.X, obj) ||
+					flashvet.MentionsObject(w.info, be.Y, obj) || mentionsDef(w.info, be.Y, obj) {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// mentionsDef complements MentionsObject for identifiers recorded as
+// definitions (short var decls reuse).
+func mentionsDef(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Defs[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// expr checks index expressions inside e. extraGuards are objects
+// guarded within this very expression by a short-circuit && chain.
+func (w *walker) expr(e ast.Expr, guarded, extraGuards map[types.Object]bool) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		if e.Op == token.LAND {
+			// Left operand's comparisons guard the right operand.
+			w.expr(e.X, guarded, extraGuards)
+			rightGuards := copyGuards(guarded)
+			for obj := range extraGuards {
+				rightGuards[obj] = true
+			}
+			for obj := range w.comparedObjects(e.X) {
+				rightGuards[obj] = true
+			}
+			w.expr(e.Y, rightGuards, nil)
+			return
+		}
+		w.expr(e.X, guarded, extraGuards)
+		w.expr(e.Y, guarded, extraGuards)
+	case *ast.IndexExpr:
+		w.checkIndex(e, guarded, extraGuards)
+		w.expr(e.X, guarded, extraGuards)
+		w.expr(e.Index, guarded, extraGuards)
+	case *ast.CallExpr:
+		w.expr(e.Fun, guarded, extraGuards)
+		for _, a := range e.Args {
+			w.expr(a, guarded, extraGuards)
+		}
+	case *ast.SelectorExpr:
+		w.expr(e.X, guarded, extraGuards)
+	case *ast.StarExpr:
+		w.expr(e.X, guarded, extraGuards)
+	case *ast.UnaryExpr:
+		w.expr(e.X, guarded, extraGuards)
+	case *ast.ParenExpr:
+		w.expr(e.X, guarded, extraGuards)
+	case *ast.SliceExpr:
+		w.expr(e.X, guarded, extraGuards)
+		w.expr(e.Low, guarded, extraGuards)
+		w.expr(e.High, guarded, extraGuards)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.expr(el, guarded, extraGuards)
+		}
+	case *ast.KeyValueExpr:
+		w.expr(e.Value, guarded, extraGuards)
+	case *ast.FuncLit:
+		w.block(e.Body, copyGuards(guarded))
+	}
+}
+
+// checkIndex reports an index into a slice/array whose index expression
+// mentions an unguarded tainted variable.
+func (w *walker) checkIndex(idx *ast.IndexExpr, guarded, extraGuards map[types.Object]bool) {
+	tv, ok := w.info.Types[idx.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Array:
+	case *types.Pointer: // *[N]T
+	default:
+		return // map lookups return zero values; strings are cheap to check too but unused here
+	}
+	for obj := range w.tainted {
+		if !flashvet.MentionsObject(w.info, idx.Index, obj) {
+			continue
+		}
+		if guarded[obj] || extraGuards[obj] {
+			continue
+		}
+		w.pass.Reportf(idx.Pos(),
+			"exported accessor %s indexes %s with parameter-derived %q without an explicit bounds check",
+			w.fn.Name(), exprString(idx.X), obj.Name())
+	}
+}
+
+// terminates reports whether the block's last statement exits the
+// function or the enclosing flow (return, panic, continue, break).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	default:
+		return "expression"
+	}
+}

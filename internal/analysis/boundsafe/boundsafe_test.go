@@ -1,0 +1,13 @@
+package boundsafe_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ppbflash/internal/analysis/analysistest"
+	"ppbflash/internal/analysis/boundsafe"
+)
+
+func TestBoundsafeFixture(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "boundfix"), boundsafe.New())
+}

@@ -1,0 +1,55 @@
+// Package boundfix is the boundsafe analyzer fixture. Table carries the
+// flashvet:boundsafe marker, so its exported accessors must bounds-check
+// parameter-derived indices; Plain is unmarked and asserts silence.
+package boundfix
+
+// Table is a marked introspection type.
+//
+//flashvet:boundsafe
+type Table struct {
+	rows []int
+}
+
+// At indexes without a guard.
+func (t *Table) At(i int) int {
+	return t.rows[i] // want `exported accessor At indexes t\.rows with parameter-derived "i"`
+}
+
+// AtSafe guards with an early exit.
+func (t *Table) AtSafe(i int) int {
+	if i < 0 || i >= len(t.rows) {
+		return 0
+	}
+	return t.rows[i]
+}
+
+// Positive guards inside a && chain.
+func (t *Table) Positive(i int) bool {
+	return i >= 0 && i < len(t.rows) && t.rows[i] > 0
+}
+
+// Sum indexes with a loop variable bounded by the for condition.
+func (t *Table) Sum(n int) int {
+	total := 0
+	for i := 0; i < n && i < len(t.rows); i++ {
+		total += t.rows[i]
+	}
+	return total
+}
+
+// at is unexported: not an accessor.
+func (t *Table) at(i int) int { return t.rows[i] }
+
+// Checked returns an error, so it is a lifecycle method, not an
+// introspection accessor; it may validate through other means.
+func (t *Table) Checked(i int) (int, error) {
+	return t.rows[i], nil
+}
+
+// Plain is unmarked: its accessors are out of scope.
+type Plain struct {
+	rows []int
+}
+
+// At on the unmarked type stays unflagged.
+func (p *Plain) At(i int) int { return p.rows[i] }

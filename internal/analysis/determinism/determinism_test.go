@@ -1,0 +1,32 @@
+package determinism_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ppbflash/internal/analysis/analysistest"
+	"ppbflash/internal/analysis/determinism"
+	"ppbflash/internal/analysis/flashvet"
+)
+
+func TestDeterminismFixture(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "determfix"),
+		determinism.New([]string{"determfix"}))
+}
+
+// TestDeterminismScope asserts the analyzer is a no-op outside its
+// package scope: the same fixture, scoped to another path, reports
+// nothing.
+func TestDeterminismScope(t *testing.T) {
+	prog, err := flashvet.LoadFixture(filepath.Join("testdata", "src", "determfix"))
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := flashvet.Run(prog, []*flashvet.Analyzer{determinism.New([]string{"someotherpkg"})})
+	if err != nil {
+		t.Fatalf("running: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("out-of-scope package produced %d diagnostics, want 0; first: %v", len(diags), diags[0])
+	}
+}

@@ -1,0 +1,453 @@
+// Package hotpath enforces the 0 allocs/op contract of the simulator's
+// replay hot paths at vet time. CI's alloc smoke pins the page-op,
+// reliability-draw and event-loop benchmarks at 0 allocs/op after the
+// fact; this analyzer catches the constructs that would break them the
+// moment they are written.
+//
+// A function annotated //flashvet:hotpath in its doc comment is a hot
+// root. The analyzer walks every function statically reachable from a
+// root through direct calls (plain calls and concrete-receiver method
+// calls; calls through interfaces or stored function values end the
+// walk — the annotation belongs on the concrete implementations too)
+// and reports allocation-prone constructs in each:
+//
+//   - append to a function-local slice that was not preallocated with
+//     capacity (append into persistent state — fields, package vars,
+//     make(..., n) locals — is the reused-buffer idiom and stays legal);
+//   - boxing a non-pointer concrete value into an interface (argument,
+//     assignment, conversion or return), which allocates once the value
+//     escapes;
+//   - a closure (func literal) that captures enclosing variables —
+//     capture is by reference in Go, forcing the variables (and usually
+//     the closure) to the heap;
+//   - any fmt.* call;
+//   - map literals and make(map...);
+//   - string concatenation.
+//
+// Constructs on cold error branches are exempt: a statement inside an
+// if-block that terminates by returning a non-nil error (or panicking)
+// only runs when the simulation is already failing, which is exactly
+// why the benchmarks see 0 allocs/op despite fmt.Errorf in the error
+// returns of Device.Read and friends. "0 allocs/op in steady state" is
+// the contract, and steady state means no errors.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ppbflash/internal/analysis/flashvet"
+)
+
+// Annotation marks a hot-path root function.
+const Annotation = "flashvet:hotpath"
+
+// New returns the hotpath analyzer.
+func New() *flashvet.Analyzer {
+	return &flashvet.Analyzer{
+		Name: "hotpath",
+		Doc:  "flag allocation-prone constructs reachable from //flashvet:hotpath functions",
+		Run:  run,
+	}
+}
+
+func run(pass *flashvet.Pass) error {
+	// Roots: annotated functions of this pass's package.
+	var roots []*types.Func
+	for fn, body := range pass.Prog.Funcs {
+		if body.Pkg == pass.Pkg && flashvet.DocHasAnnotation(body.Decl.Doc, Annotation) {
+			roots = append(roots, fn)
+		}
+	}
+	for _, root := range roots {
+		walkFrom(pass, root)
+	}
+	return nil
+}
+
+// walkFrom checks root and everything statically reachable from it.
+func walkFrom(pass *flashvet.Pass, root *types.Func) {
+	seen := map[*types.Func]bool{root: true}
+	work := []*types.Func{root}
+	for len(work) > 0 {
+		fn := work[0]
+		work = work[1:]
+		body := pass.Prog.Funcs[fn]
+		if body == nil {
+			continue // no source in the program (std, interface method)
+		}
+		checkFunc(pass, body, fn, root)
+		for _, callee := range callees(body) {
+			if !seen[callee] {
+				seen[callee] = true
+				work = append(work, callee)
+			}
+		}
+	}
+}
+
+// callees resolves the static call targets of a function body that have
+// source in the program.
+func callees(body *flashvet.FuncBody) []*types.Func {
+	var out []*types.Func
+	ast.Inspect(body.Decl.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := flashvet.CalleeFunc(body.Pkg.Info, call); fn != nil {
+				out = append(out, fn)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkFunc reports allocation-prone constructs of one reachable
+// function.
+func checkFunc(pass *flashvet.Pass, body *flashvet.FuncBody, fn, root *types.Func) {
+	info := body.Pkg.Info
+	locals := collectLocalSlices(body.Decl, info)
+	via := ""
+	if fn != root {
+		via = " (on the hot path of " + root.Name() + ")"
+	}
+	flashvet.Inspect(body.Decl.Body, func(n ast.Node, stack []ast.Node) bool {
+		if onColdErrorPath(info, body.Decl, n, stack) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, info, n, locals, via)
+		case *ast.FuncLit:
+			if capt := capturedVar(info, body.Decl, n); capt != nil {
+				pass.Reportf(n.Pos(),
+					"closure captures %q by reference in hot path%s; hoist the closure or pass state explicitly",
+					capt.Name(), via)
+			}
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[n]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "map literal allocates in hot path%s", via)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(info, n.X) && isString(info, n.Y) {
+				pass.Reportf(n.Pos(), "string concatenation allocates in hot path%s", via)
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i < len(n.Lhs) {
+					checkBoxing(pass, info, typeOf(info, n.Lhs[i]), rhs, via)
+				}
+			}
+		case *ast.ReturnStmt:
+			checkReturnBoxing(pass, info, body.Decl, n, via)
+		}
+		return true
+	})
+}
+
+// collectLocalSlices maps slice-typed local variables to whether they
+// were preallocated (make with length/capacity, or copied from existing
+// state). Variables declared `var s []T` or `s := []T{}` count as
+// un-preallocated; appending to them grows from nil in the hot path.
+func collectLocalSlices(fd *ast.FuncDecl, info *types.Info) map[types.Object]bool {
+	prealloc := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					obj := info.Defs[name]
+					if obj == nil || !isSliceType(obj.Type()) {
+						continue
+					}
+					if i < len(vs.Values) {
+						prealloc[obj] = isPreallocated(info, vs.Values[i])
+					} else {
+						prealloc[obj] = false // var s []T
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(n.Rhs) {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil || !isSliceType(obj.Type()) {
+					continue
+				}
+				prealloc[obj] = isPreallocated(info, n.Rhs[i])
+			}
+		}
+		return true
+	})
+	return prealloc
+}
+
+// isPreallocated reports whether the initializer yields backing storage
+// (make, a slice of existing state, a call result) rather than an empty
+// literal or nil.
+func isPreallocated(info *types.Info, init ast.Expr) bool {
+	switch e := ast.Unparen(init).(type) {
+	case *ast.CompositeLit:
+		return len(e.Elts) > 0
+	case *ast.Ident:
+		return e.Name != "nil"
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "make" && info.Uses[id] != nil && info.Uses[id].Parent() == types.Universe {
+			return true // make([]T, n[, c]) allocates once, up front
+		}
+		return true // call results reference existing storage (or one-time setup)
+	default:
+		return true // slice exprs, selectors: existing storage
+	}
+}
+
+// checkCall flags fmt calls, make(map), and append into growing locals.
+func checkCall(pass *flashvet.Pass, info *types.Info, call *ast.CallExpr, locals map[types.Object]bool, via string) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj := info.Uses[id]; obj != nil && obj.Parent() == types.Universe {
+			switch id.Name {
+			case "append":
+				if len(call.Args) == 0 {
+					return
+				}
+				if dest, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+					obj := info.Uses[dest]
+					if pre, isLocal := locals[obj]; isLocal && !pre {
+						pass.Reportf(call.Pos(),
+							"append grows un-preallocated local slice %q in hot path%s; preallocate with make or reuse persistent storage",
+							dest.Name, via)
+					}
+				}
+			case "make":
+				if len(call.Args) > 0 {
+					if tv, ok := info.Types[call.Args[0]]; ok && tv.IsType() {
+						if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+							pass.Reportf(call.Pos(), "make(map) allocates in hot path%s", via)
+						}
+					}
+				}
+			}
+			return
+		}
+	}
+	fn := flashvet.CalleeFunc(info, call)
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s allocates in hot path%s", fn.Name(), via)
+		return
+	}
+	// Interface-typed parameters box concrete non-pointer arguments.
+	if sig := callSignature(info, call); sig != nil {
+		params := sig.Params()
+		for i, arg := range call.Args {
+			var pt types.Type
+			switch {
+			case sig.Variadic() && i >= params.Len()-1:
+				last := params.At(params.Len() - 1).Type()
+				if s, ok := last.(*types.Slice); ok {
+					pt = s.Elem()
+				}
+			case i < params.Len():
+				pt = params.At(i).Type()
+			}
+			checkBoxing(pass, info, pt, arg, via)
+		}
+	}
+}
+
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil // conversion
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// checkBoxing reports a concrete non-pointer value converted into an
+// interface-typed slot.
+func checkBoxing(pass *flashvet.Pass, info *types.Info, target types.Type, val ast.Expr, via string) {
+	if target == nil {
+		return
+	}
+	if _, isIface := target.Underlying().(*types.Interface); !isIface {
+		return
+	}
+	tv, ok := info.Types[val]
+	if !ok || tv.Type == nil {
+		return
+	}
+	vt := tv.Type
+	if tv.IsNil() || vt == types.Typ[types.UntypedNil] {
+		return
+	}
+	switch vt.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Signature, *types.Chan, *types.Map, *types.Slice:
+		return // no boxing allocation (pointer-shaped or already boxed)
+	}
+	pass.Reportf(val.Pos(),
+		"%s value boxed into interface in hot path%s; pass a pointer or avoid the interface",
+		vt.String(), via)
+}
+
+func checkReturnBoxing(pass *flashvet.Pass, info *types.Info, fd *ast.FuncDecl, ret *ast.ReturnStmt, via string) {
+	if fd.Type.Results == nil || len(ret.Results) == 0 {
+		return
+	}
+	var resultTypes []types.Type
+	for _, field := range fd.Type.Results.List {
+		tv, ok := info.Types[field.Type]
+		if !ok {
+			return
+		}
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			resultTypes = append(resultTypes, tv.Type)
+		}
+	}
+	if len(ret.Results) != len(resultTypes) {
+		return // single call returning multiple values
+	}
+	for i, res := range ret.Results {
+		checkBoxing(pass, info, resultTypes[i], res, via)
+	}
+}
+
+// capturedVar returns a variable the func literal captures from its
+// enclosing function, or nil.
+func capturedVar(info *types.Info, fd *ast.FuncDecl, lit *ast.FuncLit) *types.Var {
+	var captured *types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured iff declared inside the enclosing function but
+		// outside the literal (package vars and fields are fine).
+		if v.Pos() >= fd.Pos() && v.Pos() < fd.End() &&
+			!(v.Pos() >= lit.Pos() && v.Pos() < lit.End()) {
+			captured = v
+		}
+		return true
+	})
+	return captured
+}
+
+// onColdErrorPath reports whether the node sits on an error branch: a
+// block that terminates by returning a non-nil final value from a
+// function whose last result is an error, or by panicking. Such code
+// runs zero times per op in steady state.
+func onColdErrorPath(info *types.Info, fd *ast.FuncDecl, n ast.Node, stack []ast.Node) bool {
+	// The node may itself be (inside) the terminating return.
+	for i := len(stack) - 1; i >= 0; i-- {
+		if ret, ok := stack[i].(*ast.ReturnStmt); ok && isErrorReturn(info, fd, ret) {
+			return true
+		}
+	}
+	if ret, ok := n.(*ast.ReturnStmt); ok && isErrorReturn(info, fd, ret) {
+		return true
+	}
+	// Or inside an if/else block whose last statement is such a return
+	// or a panic.
+	for i := len(stack) - 1; i >= 0; i-- {
+		blk, ok := stack[i].(*ast.BlockStmt)
+		if !ok || len(blk.List) == 0 {
+			continue
+		}
+		// Only blocks hanging off an if (a guard), not the function body.
+		if i == 0 {
+			continue
+		}
+		if _, isIf := stack[i-1].(*ast.IfStmt); !isIf {
+			continue
+		}
+		switch last := blk.List[len(blk.List)-1].(type) {
+		case *ast.ReturnStmt:
+			if isErrorReturn(info, fd, last) {
+				return true
+			}
+		case *ast.ExprStmt:
+			if call, ok := last.X.(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isErrorReturn reports whether ret returns a non-nil value in the
+// function's final error result.
+func isErrorReturn(info *types.Info, fd *ast.FuncDecl, ret *ast.ReturnStmt) bool {
+	if fd.Type.Results == nil || len(fd.Type.Results.List) == 0 {
+		return false
+	}
+	lastField := fd.Type.Results.List[len(fd.Type.Results.List)-1]
+	tv, ok := info.Types[lastField.Type]
+	if !ok || tv.Type == nil || tv.Type.String() != "error" {
+		return false
+	}
+	if len(ret.Results) == 0 {
+		return true // bare return with named results: assume the guard set them
+	}
+	last := ret.Results[len(ret.Results)-1]
+	if tv, ok := info.Types[last]; ok && tv.IsNil() {
+		return false
+	}
+	return true
+}
+
+func isString(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isSliceType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if obj := info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}

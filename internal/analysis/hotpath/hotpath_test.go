@@ -1,0 +1,13 @@
+package hotpath_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ppbflash/internal/analysis/analysistest"
+	"ppbflash/internal/analysis/hotpath"
+)
+
+func TestHotpathFixture(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "hotfix"), hotpath.New())
+}

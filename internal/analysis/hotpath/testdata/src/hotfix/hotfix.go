@@ -1,0 +1,68 @@
+// Package hotfix is the hotpath analyzer fixture. The annotated roots
+// exercise every flagged construct plus the sanctioned idioms (persistent
+// append, preallocated locals, cold error paths); the unannotated twin at
+// the bottom asserts the analyzer keeps quiet off the hot path.
+package hotfix
+
+import "fmt"
+
+type counter struct {
+	buf   []int
+	calls int
+}
+
+// step is a hot root; helper is reachable from it and checked too.
+//
+//flashvet:hotpath
+func step(c *counter, v int) (int, error) {
+	if v < 0 {
+		return 0, fmt.Errorf("negative %d", v) // cold error path: exempt
+	}
+	c.buf = append(c.buf, v) // append into persistent state: legal
+	s := fmt.Sprint(v)       // want `fmt\.Sprint allocates in hot path`
+	_ = s
+	return helper(c, v), nil
+}
+
+func helper(c *counter, v int) int {
+	var grow []int
+	grow = append(grow, v) // want `append grows un-preallocated local slice "grow"`
+	pre := make([]int, 0, 8)
+	pre = append(pre, v) // preallocated local: legal
+	_ = pre
+	m := map[int]int{} // want `map literal allocates in hot path`
+	_ = m
+	c.calls++
+	return grow[0]
+}
+
+func sink(v any) int {
+	if v == nil {
+		return 0
+	}
+	return 1
+}
+
+// boxer exercises boxing, capture, concatenation and make(map).
+//
+//flashvet:hotpath
+func boxer(v int, name string) int {
+	n := sink(v)                      // want `int value boxed into interface in hot path`
+	n += sink(&v)                     // pointers are pointer-shaped: legal
+	f := func() int { v++; return v } // want `closure captures "v" by reference`
+	n += f()
+	_ = name + "!"            // want `string concatenation allocates in hot path`
+	h := make(map[string]int) // want `make\(map\) allocates in hot path`
+	_ = h
+	return n
+}
+
+// chilly mirrors helper but is neither annotated nor reachable from a
+// root, so every construct below must stay unflagged.
+func chilly(v int) string {
+	var s []string
+	s = append(s, "x")
+	m := map[int]int{v: v}
+	_ = m
+	return fmt.Sprint(s)
+}

@@ -1,0 +1,111 @@
+// Package registry keeps the experiment registry and the golden-fixture
+// corpus in lockstep: every experiment registered in the harness's
+// Experiments map must have a committed golden fixture pinning its
+// series byte-exactly (testdata/golden/<key>.json), or carry an
+// explicit //flashvet:nogolden justification on its registry line.
+//
+// Without this check a new experiment can silently ship unpinned — its
+// numbers drift with refactors and nobody notices until a figure is
+// wrong — and deleting a fixture file regresses the corpus without
+// failing anything but this analyzer. Both directions fail the CI
+// flashvet step in seconds.
+package registry
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"ppbflash/internal/analysis/flashvet"
+)
+
+// Annotation justifies a registry entry without a golden fixture.
+const Annotation = "flashvet:nogolden"
+
+// Config names the registry variable and the fixture directory relative
+// to the package holding it.
+type Config struct {
+	// VarName is the package-level map variable ("Experiments").
+	VarName string
+	// GoldenDir is the fixture directory relative to the package dir.
+	GoldenDir string
+}
+
+// DefaultConfig matches internal/harness.
+var DefaultConfig = Config{VarName: "Experiments", GoldenDir: filepath.Join("testdata", "golden")}
+
+// New returns the registry analyzer for the given config.
+func New(cfg Config) *flashvet.Analyzer {
+	return &flashvet.Analyzer{
+		Name: "registry",
+		Doc:  "every registered experiment needs a golden fixture or a //flashvet:nogolden justification",
+		Run: func(pass *flashvet.Pass) error {
+			run(pass, cfg)
+			return nil
+		},
+	}
+}
+
+// Default is the analyzer under DefaultConfig.
+func Default() *flashvet.Analyzer { return New(DefaultConfig) }
+
+func run(pass *flashvet.Pass, cfg Config) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != cfg.VarName || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					checkRegistry(pass, cfg, lit)
+				}
+			}
+		}
+	}
+}
+
+func checkRegistry(pass *flashvet.Pass, cfg Config, lit *ast.CompositeLit) {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := stringKey(kv.Key)
+		if !ok {
+			continue
+		}
+		fixture := filepath.Join(pass.Pkg.Dir, cfg.GoldenDir, key+".json")
+		if _, err := os.Stat(fixture); err == nil {
+			continue
+		}
+		if pass.Pkg.HasLineAnnotation(pass.Prog.Fset, kv.Pos(), Annotation) {
+			continue
+		}
+		pass.Reportf(kv.Pos(),
+			"experiment %q has no golden fixture %s and no //flashvet:nogolden justification; pin it (go test ./internal/harness -run TestGoldenFigures -update) or justify why its series cannot be pinned",
+			key, filepath.Join(cfg.GoldenDir, key+".json"))
+	}
+}
+
+func stringKey(e ast.Expr) (string, bool) {
+	bl, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || bl.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(bl.Value)
+	return s, err == nil
+}

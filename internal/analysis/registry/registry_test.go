@@ -1,0 +1,13 @@
+package registry_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ppbflash/internal/analysis/analysistest"
+	"ppbflash/internal/analysis/registry"
+)
+
+func TestRegistryFixture(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "regfix"), registry.Default())
+}

@@ -1,0 +1,14 @@
+// Package regfix is the registry analyzer fixture: "pinned" has a golden
+// fixture on disk (testdata/golden/pinned.json), "justified" carries the
+// nogolden annotation, and "unpinned" has neither and must be flagged.
+package regfix
+
+type result struct{}
+
+// Experiments mirrors the harness registry shape.
+var Experiments = map[string]func() *result{
+	"pinned":   nil,
+	"unpinned": nil, // want `experiment "unpinned" has no golden fixture`
+	//flashvet:nogolden — justified: series not stable at fixture scale
+	"justified": nil,
+}

@@ -519,6 +519,8 @@ func NewReplayMetrics() *ReplayMetrics {
 }
 
 // observe folds one completed request into the histograms.
+//
+//flashvet:hotpath
 func (m *ReplayMetrics) observe(op trace.Op, latency, delay time.Duration) {
 	if op == trace.OpWrite {
 		m.WriteLatency.Observe(latency)
@@ -612,7 +614,7 @@ func ReplayQueued(f ftl.FTL, src trace.Stream, m *ReplayMetrics, opts ReplayOpti
 	if qd < 1 {
 		qd = 1
 	}
-	wallStart := time.Now()
+	wallStart := time.Now() //flashvet:wallclock — host-speed metric only; Canonical() masks Wall out of determinism comparisons
 	var (
 		events      sched.Queue
 		pending     int           // outstanding requests (completion events in flight)
@@ -703,7 +705,7 @@ func ReplayQueued(f ftl.FTL, src trace.Stream, m *ReplayMetrics, opts ReplayOpti
 		dev.FlushDeferredErases()
 	}
 	m.Events += popped
-	m.Wall += time.Since(wallStart)
+	m.Wall += time.Since(wallStart) //flashvet:wallclock — host-speed metric only; Canonical() masks Wall out of determinism comparisons
 	return nil
 }
 
@@ -736,6 +738,8 @@ func replayRequest(f ftl.FTL, r trace.Request, pageSize int, m *ReplayMetrics) e
 }
 
 // issueRequest splits one trace request into page-level FTL operations.
+//
+//flashvet:hotpath
 func issueRequest(f ftl.FTL, r trace.Request, pageSize int) error {
 	first, last := r.Pages(pageSize)
 	for lpn := first; lpn <= last; lpn++ {

@@ -1,5 +1,7 @@
 package hotness
 
+import "slices"
+
 // FreqTable is the cold-area tracker of the PPB strategy (Figure 11a): an
 // access-frequency table logging the re-access (read) frequency of each
 // cold chunk. Chunks whose frequency reaches PromoteAt are cold
@@ -147,14 +149,27 @@ func (f *FreqTable) Len() int {
 
 // maybeAge halves all counts when the table overflows, dropping entries
 // that reach zero. Repeated halving always frees space eventually; if a
-// pathological distribution keeps every count above zero, the oldest map
-// entries encountered are evicted to enforce the bound approximately.
+// pathological distribution keeps every count above zero, the
+// lowest-numbered LPNs are evicted to enforce the bound approximately.
+//
+// Both passes iterate the keys in sorted order: Go randomizes map
+// iteration, so evicting "whatever the range encounters first" made the
+// surviving table contents — and with them every later hot/cold
+// classification — differ run to run on overflow. That is exactly the
+// silent-nondeterminism class the determinism analyzer flags
+// (cmd/flashvet), and the sorted-keys collection below is its
+// sanctioned idiom.
 func (f *FreqTable) maybeAge() {
 	if len(f.counts) <= f.cap {
 		return
 	}
-	for lpn, c := range f.counts {
-		c /= 2
+	keys := make([]uint64, 0, len(f.counts))
+	for lpn := range f.counts {
+		keys = append(keys, lpn)
+	}
+	slices.Sort(keys)
+	for _, lpn := range keys {
+		c := f.counts[lpn] / 2
 		if c == 0 {
 			delete(f.counts, lpn)
 		} else {
@@ -162,11 +177,13 @@ func (f *FreqTable) maybeAge() {
 		}
 	}
 	over := len(f.counts) - f.cap
-	for lpn := range f.counts {
+	for _, lpn := range keys {
 		if over <= 0 {
 			break
 		}
-		delete(f.counts, lpn)
-		over--
+		if _, survived := f.counts[lpn]; survived {
+			delete(f.counts, lpn)
+			over--
+		}
 	}
 }

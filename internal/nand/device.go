@@ -114,6 +114,12 @@ type DeviceStats struct {
 // first. Block contents, stats and the returned cost are unaffected;
 // only the time booking moves. FlushDeferredErases commits everything
 // still pending (the harness calls it before reading the makespan).
+//
+// The flashvet:boundsafe marker below makes cmd/flashvet verify that
+// every exported introspection accessor bounds-checks its block and
+// page indices explicitly.
+//
+//flashvet:boundsafe
 type Device struct {
 	cfg     Config
 	blocks  []blockState
@@ -534,6 +540,8 @@ func (d *Device) pageCheck(b BlockID, page int) (*blockState, error) {
 // the operation takes (sense + transfer). Reading a free page is an error;
 // reading an invalid page is permitted (GC never needs it, but the device
 // does not forbid it).
+//
+//flashvet:hotpath
 func (d *Device) Read(p PPN) (OOB, time.Duration, error) {
 	b, page := d.cfg.SplitPPN(p)
 	blk, err := d.pageCheck(b, page)
@@ -561,6 +569,8 @@ func (d *Device) Read(p PPN) (OOB, time.Duration, error) {
 // operation time (transfer + program pulse). Pages within a block must be
 // programmed strictly in order, and a page cannot be programmed twice
 // between erases.
+//
+//flashvet:hotpath
 func (d *Device) Program(p PPN, oob OOB) (time.Duration, error) {
 	b, page := d.cfg.SplitPPN(p)
 	blk, err := d.pageCheck(b, page)
@@ -595,6 +605,8 @@ func (d *Device) Program(p PPN, oob OOB) (time.Duration, error) {
 
 // Invalidate marks a previously valid page invalid (out-of-place update or
 // trim). It costs no device time: it is pure FTL bookkeeping.
+//
+//flashvet:hotpath
 func (d *Device) Invalidate(p PPN) error {
 	b, page := d.cfg.SplitPPN(p)
 	blk, err := d.pageCheck(b, page)
@@ -614,6 +626,8 @@ func (d *Device) Invalidate(p PPN) error {
 // Erasing a block that still holds valid pages is legal NAND-wise but
 // almost always an FTL bug, so it is reported as an error unless force is
 // used via EraseForce.
+//
+//flashvet:hotpath
 func (d *Device) Erase(b BlockID) (time.Duration, error) {
 	blk, err := d.block(b)
 	if err != nil {

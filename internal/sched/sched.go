@@ -98,6 +98,8 @@ func before(a, b Event) bool {
 
 // Push schedules an event. The event's FIFO sequence is assigned here;
 // any value the caller left in the unexported field is overwritten.
+//
+//flashvet:hotpath
 func (q *Queue) Push(e Event) {
 	e.seq = q.seq
 	q.seq++
@@ -116,10 +118,14 @@ func (q *Queue) Push(e Event) {
 
 // Min returns the earliest pending event without removing it (q must be
 // non-empty).
+//
+//flashvet:hotpath
 func (q *Queue) Min() Event { return q.heap[0] }
 
 // Pop removes and returns the earliest pending event (q must be
 // non-empty). Among equal times, events pop in push order.
+//
+//flashvet:hotpath
 func (q *Queue) Pop() Event {
 	h := q.heap
 	min := h[0]

@@ -94,6 +94,12 @@ var (
 // greedy victim (most invalid pages) is found by walking buckets from the
 // top instead of scanning every block. Invalidations are reported by the
 // FTL through NoteInvalidated; erase/release maintenance is automatic.
+//
+// The flashvet:boundsafe marker below makes cmd/flashvet verify that
+// every exported introspection accessor bounds-checks its pool and
+// block indices explicitly.
+//
+//flashvet:boundsafe
 type Manager struct {
 	cfg      nand.Config
 	k        int
@@ -273,12 +279,20 @@ func (m *Manager) checkPool(pool int) error {
 }
 
 // PendingCount returns how many blocks of the pool have a part ready to
-// open.
-func (m *Manager) PendingCount(pool int) int { return len(m.pendingQ[pool]) }
+// open; 0 for out-of-range pools.
+func (m *Manager) PendingCount(pool int) int {
+	if pool < 0 || pool >= len(m.pendingQ) {
+		return 0
+	}
+	return len(m.pendingQ[pool])
+}
 
 // PendingCountGroup returns how many pending blocks of the pool have a
-// next part in the requested speed group.
+// next part in the requested speed group; 0 for out-of-range pools.
 func (m *Manager) PendingCountGroup(pool int, fast bool) int {
+	if pool < 0 || pool >= len(m.pendingQ) {
+		return 0
+	}
 	n := 0
 	for _, b := range m.pendingQ[pool] {
 		if m.FastPart(m.blocks[b].allocated) == fast {
@@ -291,6 +305,9 @@ func (m *Manager) PendingCountGroup(pool int, fast bool) int {
 // PoolOf returns the owning pool of a block; ok is false for free and
 // retired blocks (neither belongs to any pool).
 func (m *Manager) PoolOf(b nand.BlockID) (int, bool) {
+	if uint64(b) >= uint64(len(m.blocks)) {
+		return 0, false
+	}
 	bi := &m.blocks[b]
 	if bi.phase == phaseFree || bi.phase == phaseRetired {
 		return 0, false
@@ -298,11 +315,23 @@ func (m *Manager) PoolOf(b nand.BlockID) (int, bool) {
 	return bi.pool, true
 }
 
-// Cursor returns the next page to program in the block.
-func (m *Manager) Cursor(b nand.BlockID) int { return m.blocks[b].cursor }
+// Cursor returns the next page to program in the block, or -1 for
+// out-of-range block IDs.
+func (m *Manager) Cursor(b nand.BlockID) int {
+	if uint64(b) >= uint64(len(m.blocks)) {
+		return -1
+	}
+	return m.blocks[b].cursor
+}
 
-// IsFull reports whether the block is fully programmed.
-func (m *Manager) IsFull(b nand.BlockID) bool { return m.blocks[b].phase == phaseFull }
+// IsFull reports whether the block is fully programmed; false for
+// out-of-range block IDs.
+func (m *Manager) IsFull(b nand.BlockID) bool {
+	if uint64(b) >= uint64(len(m.blocks)) {
+		return false
+	}
+	return m.blocks[b].phase == phaseFull
+}
 
 // AllocateFirst takes a free block, assigns it to the pool and returns
 // its slow part 0 VB. The dispatch policy picks the chip (the default
@@ -340,6 +369,9 @@ func (m *Manager) AllocateFirst(pool int) (VB, error) {
 // OpenPending pops the oldest block of the pool whose next part became
 // allocatable and opens that part. ok is false when no block is pending.
 func (m *Manager) OpenPending(pool int) (VB, bool) {
+	if pool < 0 || pool >= len(m.pendingQ) {
+		return VB{}, false
+	}
 	q := m.pendingQ[pool]
 	if len(q) == 0 {
 		return VB{}, false
@@ -359,6 +391,9 @@ func (m *Manager) OpenPending(pool int) (VB, bool) {
 // where a block's second slow part is also reached through the pending
 // queue.
 func (m *Manager) OpenPendingGroup(pool int, fast bool) (VB, bool) {
+	if pool < 0 || pool >= len(m.pendingQ) {
+		return VB{}, false
+	}
 	q := m.pendingQ[pool]
 	for i, b := range q {
 		bi := &m.blocks[b]
@@ -515,8 +550,14 @@ func (m *Manager) NoteInvalidated(b nand.BlockID) {
 }
 
 // InvalidCount returns how many pages of the block were reported invalid
-// through NoteInvalidated since it was last released.
-func (m *Manager) InvalidCount(b nand.BlockID) int { return m.blocks[b].invalid }
+// through NoteInvalidated since it was last released; 0 for out-of-range
+// block IDs.
+func (m *Manager) InvalidCount(b nand.BlockID) int {
+	if uint64(b) >= uint64(len(m.blocks)) {
+		return 0
+	}
+	return m.blocks[b].invalid
+}
 
 // idxPush links the block at the head of its invalid-count bucket.
 func (m *Manager) idxPush(b nand.BlockID) {
