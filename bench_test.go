@@ -184,6 +184,24 @@ func BenchmarkReliabilityPageOps(b *testing.B) {
 	}
 }
 
+// BenchmarkIntraChipPageOps runs the page-op loop with intra-chip
+// parallelism enabled — four chips of four planes each with the default
+// reordering window, and erase suspension on — so the multi-plane
+// booking (bookStart/bookFinish over the plane clocks) and the
+// suspend-resume decision sit on the measured path. Like the other
+// page-op benchmarks it must stay at 0 allocs/op.
+func BenchmarkIntraChipPageOps(b *testing.B) {
+	f, err := NewIntraChipPageOpsFTL()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := RunPageOps(f, b.N); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkEventLoop measures the discrete-event replay machinery
 // itself: each iteration is one host request pulled from a generator,
 // pushed through the scheduler's event heap as issue and completion

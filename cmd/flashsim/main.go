@@ -7,6 +7,7 @@
 //
 //	flashsim -ftl ppb -trace websql.csv [-format msr] [-gb 4] \
 //	         [-ratio 2] [-pagesize 16384] [-chips N] [-qd N] [-openloop] \
+//	         [-planes N] [-suspend off|erase|full] [-reorder-window D] \
 //	         [-dispatch striped|least-loaded|hotcold-affinity] \
 //	         [-dependency causal|legacy] [-defer-erases] \
 //	         [-reliability off|low|high] [-wear none|wear-aware|threshold-swap] \
@@ -25,6 +26,13 @@
 // earliest-free chip by the device clocks, or hot-stream pools pinned to
 // a chip subset.
 //
+// -planes splits each chip into N planes: operations on blocks of
+// distinct planes of one chip may overlap within a bounded reordering
+// window (-reorder-window, default 4x the erase latency when planes
+// are on). -suspend lets an incoming read preempt an in-flight erase
+// ("erase") or also an in-flight program ("full") at a suspend/resume
+// cost, resuming the remainder afterward.
+//
 // -dependency picks the GC scheduling model: "causal" (default — each
 // relocation's program waits for its source read, the victim erase for
 // the last relocation) or "legacy" (the unchained booking).
@@ -38,8 +46,9 @@
 // retire. -wear picks the GC wear-leveling policy; -seed drives the
 // fault-injection PRNG (equal seeds inject identical faults).
 //
-// Unknown -ftl, -dispatch, -dependency, -reliability or -wear names are
-// rejected before the trace is loaded, with the list of valid names.
+// Unknown -ftl, -dispatch, -dependency, -reliability, -wear or
+// -suspend names are rejected before the trace is loaded, with the
+// list of valid names.
 //
 // Traces replay as pull-based streams: one validation pass up front,
 // then each FTL's replay re-reads the file one request at a time, so a
@@ -66,6 +75,9 @@ func main() {
 		ratio    = flag.Float64("ratio", 2, "bottom/top page speed ratio (paper: 2-5)")
 		pageSize = flag.Int("pagesize", 16<<10, "page size in bytes")
 		chips    = flag.Int("chips", 1, "flash chips sharing the capacity (chip-parallel service)")
+		planes   = flag.Int("planes", 1, "planes per chip (intra-chip operation overlap)")
+		suspend  = flag.String("suspend", "off", "read preemption of in-flight ops: off, erase or full")
+		reorder  = flag.Duration("reorder-window", 0, "cross-plane reordering window (0 = 4x erase latency when -planes > 1)")
 		dispatch = flag.String("dispatch", "striped", "chip-dispatch policy: striped, least-loaded or hotcold-affinity")
 		depModel = flag.String("dependency", "causal", "GC dependency model: causal or legacy")
 		deferE   = flag.Bool("defer-erases", false, "defer GC erases on busy chips to their next idle gap")
@@ -86,7 +98,7 @@ func main() {
 	}
 	// Reject bad policy names before the (possibly long) trace load, with
 	// the valid spellings, instead of failing deep inside the run.
-	if err := validateNames(*ftlNames, *dispatch, *depModel, *relProf, *wear); err != nil {
+	if err := validateNames(*ftlNames, *dispatch, *depModel, *relProf, *wear, *suspend); err != nil {
 		fmt.Fprintln(os.Stderr, "flashsim:", err)
 		os.Exit(2)
 	}
@@ -120,6 +132,9 @@ func main() {
 	if *chips > 1 {
 		cfg = cfg.WithChips(*chips)
 	}
+	if *planes > 1 {
+		cfg = cfg.WithPlanes(*planes)
+	}
 
 	var specs []ppbflash.RunSpec
 	var streams []*traceStream
@@ -142,6 +157,8 @@ func main() {
 			Dispatch:    *dispatch,
 			Dependency:  *depModel,
 			DeferErases: *deferE,
+			Suspend:     *suspend,
+			FTLOptions:  ppbflash.FTLOptions{ReorderWindow: *reorder},
 			Reliability: *relProf,
 			Wear:        *wear,
 			Seed:        *seed,
@@ -183,8 +200,15 @@ func main() {
 		if *deferE {
 			sched += ", deferred erases"
 		}
-		fmt.Printf("device: %.1f GiB, %d KB pages, ratio %.0fx, %d chip(s), %s dispatch, %s, %s FTL, %s\n",
-			float64(cfg.TotalBytes())/(1<<30), cfg.PageSize>>10, cfg.SpeedRatio, cfg.Chips, *dispatch, sched, specs[i].Kind, mode)
+		if *suspend != "off" {
+			sched += ", " + *suspend + " suspend"
+		}
+		chipDesc := fmt.Sprintf("%d chip(s)", cfg.Chips)
+		if cfg.PlaneCount() > 1 {
+			chipDesc = fmt.Sprintf("%d chip(s) x %d planes", cfg.Chips, cfg.PlaneCount())
+		}
+		fmt.Printf("device: %.1f GiB, %d KB pages, ratio %.0fx, %s, %s dispatch, %s, %s FTL, %s\n",
+			float64(cfg.TotalBytes())/(1<<30), cfg.PageSize>>10, cfg.SpeedRatio, chipDesc, *dispatch, sched, specs[i].Kind, mode)
 		fmt.Printf("host:   %d page reads (%d unmapped), %d page writes\n",
 			res.HostReadPages, res.UnmappedReads, res.HostWritePage)
 		fmt.Printf("time:   read total %v, write total %v, makespan %v\n", res.ReadTotal, res.WriteTotal, res.Makespan)
@@ -195,6 +219,9 @@ func main() {
 		fmt.Printf("queue:  delay p50/p95/p99 %v/%v/%v\n",
 			res.QueueDelayP50, res.QueueDelayP95, res.QueueDelayP99)
 		fmt.Printf("gc:     %d erases, %d copies, WAF %.2f\n", res.Erases, res.GCCopies, res.WAF)
+		if *suspend != "off" {
+			fmt.Printf("susp:   %d erase/program suspensions by reads\n", res.Suspends)
+		}
 		if *relProf != "off" {
 			fmt.Printf("rel:    %s profile, %s wear: retry rate %.4f%% (mean %.2f steps), %d uncorrectable, %d blocks retired\n",
 				*relProf, *wear, res.RetryRate*100, res.MeanRetrySteps, res.UncorrectableReads, res.RetiredBlocks)
@@ -212,7 +239,7 @@ func main() {
 // carries the registry's own list of valid spellings. The -ftl flag is
 // a comma-separated list; empty elements are skipped like the spec loop
 // does.
-func validateNames(ftlNames, dispatch, dependency, reliability, wear string) error {
+func validateNames(ftlNames, dispatch, dependency, reliability, wear, suspend string) error {
 	for _, name := range strings.Split(ftlNames, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
@@ -239,6 +266,9 @@ func validateNames(ftlNames, dispatch, dependency, reliability, wear string) err
 		return err
 	}
 	if _, err := ppbflash.WearByName(wear); err != nil {
+		return err
+	}
+	if _, err := ppbflash.SuspendByName(suspend); err != nil {
 		return err
 	}
 	return nil

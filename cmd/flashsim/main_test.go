@@ -13,7 +13,7 @@ import (
 )
 
 // TestValidateNames pins the up-front policy-name validation: unknown
-// -ftl/-dispatch/-dependency/-reliability/-wear values must be rejected
+// -ftl/-dispatch/-dependency/-reliability/-wear/-suspend values must be rejected
 // before any trace is loaded, and the error must list the valid
 // spellings so the exit-2 message is actionable.
 func TestValidateNames(t *testing.T) {
@@ -31,6 +31,7 @@ func TestValidateNames(t *testing.T) {
 		dependency  string
 		reliability string
 		wear        string
+		suspend     string
 		wantErr     string // substring of the error ("" = valid)
 	}{
 		{name: "defaults", ftl: okFTL, dispatch: okDisp, dependency: okDep, reliability: okRel, wear: okWear},
@@ -58,10 +59,19 @@ func TestValidateNames(t *testing.T) {
 		{name: "unknown wear", ftl: okFTL,
 			dispatch: okDisp, dependency: okDep, reliability: okRel, wear: "static",
 			wantErr: "none, wear-aware or threshold-swap"},
+		{name: "suspend enabled", ftl: okFTL,
+			dispatch: okDisp, dependency: okDep, reliability: okRel, wear: okWear, suspend: "erase"},
+		{name: "unknown suspend", ftl: okFTL,
+			dispatch: okDisp, dependency: okDep, reliability: okRel, wear: okWear, suspend: "preemptive",
+			wantErr: "off, erase or full"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := validateNames(tc.ftl, tc.dispatch, tc.dependency, tc.reliability, tc.wear)
+			suspend := tc.suspend
+			if suspend == "" {
+				suspend = "off"
+			}
+			err := validateNames(tc.ftl, tc.dispatch, tc.dependency, tc.reliability, tc.wear, suspend)
 			if tc.wantErr == "" {
 				if err != nil {
 					t.Fatalf("validateNames() = %v, want nil", err)

@@ -64,7 +64,7 @@ type figureEntry struct {
 
 func main() {
 	var (
-		figFlag      = flag.String("fig", "all", "experiment id (3, 12-18, a1-a7, a9) or 'all'")
+		figFlag      = flag.String("fig", "all", "experiment id (3, 12-18, a1-a9) or 'all'")
 		scaleFlag    = flag.String("scale", "bench", "preset scale: quick, bench or paper")
 		divisorFlag  = flag.Int("divisor", 0, "override device divisor (1 = full 64 GB)")
 		turnoverFlag = flag.Float64("turnover", 0, "override write turnover multiple")
@@ -156,14 +156,16 @@ func effectiveParallelism(p int) int {
 
 // microBenchmarks measures the raw page-op throughput of the simulator
 // (cost floor), of the full PPB strategy, of the retried-read hot path
-// under the reliability model, and of the discrete-event replay loop
-// itself. It shares the loops and configurations with the repo's
-// BenchmarkDevicePageOps/BenchmarkPPBPageOps/BenchmarkReliabilityPageOps/
-// BenchmarkEventLoop through the ppbflash constructors, so the -json
-// report and the CI benchmarks always measure the same thing.
+// under the reliability model, of the multi-plane/suspend booking, and
+// of the discrete-event replay loop itself. It shares the loops and
+// configurations with the repo's BenchmarkDevicePageOps/
+// BenchmarkPPBPageOps/BenchmarkReliabilityPageOps/
+// BenchmarkIntraChipPageOps/BenchmarkEventLoop through the ppbflash
+// constructors, so the -json report and the CI benchmarks always
+// measure the same thing.
 func microBenchmarks() []microBenchEntry {
 	runPageOps := func(f ppbflash.FTL, n int) error { return ppbflash.RunPageOps(f, n) }
-	out := make([]microBenchEntry, 0, 4)
+	out := make([]microBenchEntry, 0, 5)
 	for _, mb := range []struct {
 		name  string
 		build func() (ppbflash.FTL, error)
@@ -172,6 +174,7 @@ func microBenchmarks() []microBenchEntry {
 		{"DevicePageOps", func() (ppbflash.FTL, error) { return ppbflash.NewPageOpsFTL(ppbflash.KindConventional) }, runPageOps},
 		{"PPBPageOps", func() (ppbflash.FTL, error) { return ppbflash.NewPageOpsFTL(ppbflash.KindPPB) }, runPageOps},
 		{"ReliabilityPageOps", ppbflash.NewReliabilityPageOpsFTL, runPageOps},
+		{"IntraChipPageOps", ppbflash.NewIntraChipPageOpsFTL, runPageOps},
 		{"EventLoop",
 			func() (ppbflash.FTL, error) { return ppbflash.NewPageOpsFTL(ppbflash.KindConventional) },
 			func(f ppbflash.FTL, n int) error { return ppbflash.RunEventLoop(f, ppbflash.NewReplayMetrics(), n) }},

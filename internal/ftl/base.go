@@ -50,6 +50,12 @@ func NewBase(dev *nand.Device, vbm *vblock.Manager, opts Options) (Base, error) 
 	if opts.DeferErases {
 		dev.SetEraseDeferral(opts.EraseDeferWindow)
 	}
+	if opts.ReorderWindow > 0 && cfg.PlaneCount() > 1 {
+		dev.SetReorderWindow(opts.ReorderWindow)
+	}
+	if opts.Suspend != nand.SuspendOff {
+		dev.SetSuspend(opts.Suspend, opts.SuspendCost, opts.ResumeCost)
+	}
 	if opts.Reliability != nil {
 		if err := dev.SetReliability(*opts.Reliability, opts.ReliabilitySeed); err != nil {
 			return Base{}, err

@@ -148,6 +148,25 @@ type Options struct {
 	// it is force-committed (zero defaults to 8x the device's erase
 	// latency). Only meaningful with DeferErases.
 	EraseDeferWindow time.Duration
+	// Suspend selects the program/erase suspend-resume policy installed
+	// on the device (nand.Device.SetSuspend): SuspendOff (the zero value,
+	// bit-identical to the pre-suspend model), SuspendErase (reads may
+	// preempt in-flight erases) or SuspendFull (erases and programs).
+	Suspend nand.SuspendPolicy
+	// SuspendCost is the device time a read pays before it can sense
+	// while the preempted op winds down (zero defaults to 25µs when
+	// Suspend is active). Only meaningful with Suspend.
+	SuspendCost time.Duration
+	// ResumeCost is the device time the preempted op pays before its
+	// remainder restarts (zero defaults to 25µs when Suspend is active).
+	// Only meaningful with Suspend.
+	ResumeCost time.Duration
+	// ReorderWindow bounds how far before its chip's busiest plane
+	// drains an op on another plane may start — the multi-plane overlap
+	// knob (nand.Device.SetReorderWindow). Zero defaults to 4x the
+	// device's erase latency when the config has Planes > 1 and is
+	// ignored (chips stay serial) on single-plane configs.
+	ReorderWindow time.Duration
 	// Wear selects the wear-leveling policy layered on GC victim
 	// selection (see WearPolicy). The zero value WearNone keeps the
 	// historic greedy behavior bit-identical.
@@ -186,6 +205,17 @@ func (o Options) withDefaults(cfg nand.Config) Options {
 	if o.DeferErases && o.EraseDeferWindow == 0 {
 		o.EraseDeferWindow = 8 * cfg.EraseLatency
 	}
+	if o.Suspend != nand.SuspendOff {
+		if o.SuspendCost == 0 {
+			o.SuspendCost = 25 * time.Microsecond
+		}
+		if o.ResumeCost == 0 {
+			o.ResumeCost = 25 * time.Microsecond
+		}
+	}
+	if cfg.PlaneCount() > 1 && o.ReorderWindow == 0 {
+		o.ReorderWindow = 4 * cfg.EraseLatency
+	}
 	if o.Wear == WearAware && o.WearWindow == 0 {
 		o.WearWindow = cfg.PagesPerBlock / 8
 		if o.WearWindow < 1 {
@@ -214,6 +244,15 @@ func (o Options) Validate(cfg nand.Config) error {
 	}
 	if o.EraseDeferWindow < 0 {
 		return fmt.Errorf("ftl: negative erase-deferral window %v", o.EraseDeferWindow)
+	}
+	if o.Suspend > nand.SuspendFull {
+		return fmt.Errorf("ftl: unknown suspend policy %d", o.Suspend)
+	}
+	if o.SuspendCost < 0 || o.ResumeCost < 0 {
+		return fmt.Errorf("ftl: negative suspend/resume cost (%v, %v)", o.SuspendCost, o.ResumeCost)
+	}
+	if o.ReorderWindow < 0 {
+		return fmt.Errorf("ftl: negative reorder window %v", o.ReorderWindow)
 	}
 	if o.Wear > WearThresholdSwap {
 		return fmt.Errorf("ftl: unknown wear policy %d", o.Wear)

@@ -656,6 +656,79 @@ func CausalSweep(s Scale) (*FigureResult, error) {
 	return fig, nil
 }
 
+// IntraChipPlaneCounts is the plane axis of experiment a8: serial chips
+// first, so the sweep reads as the pre-plane baseline plus overlap.
+var IntraChipPlaneCounts = []int{1, 2, 4}
+
+// IntraChipSuspendModes is the suspend-policy axis of experiment a8
+// (the names RunSpec.Suspend accepts; "off" is the a7 causal baseline).
+var IntraChipSuspendModes = []string{"off", "erase"}
+
+// intraChipChips matches the a5/a6/a7 device so a8's planes=1,
+// suspend-off corner is directly comparable to the a7 causal baseline.
+const intraChipChips = 4
+
+// intraChipQD is the host queue depth of experiment a8: deep enough
+// that host reads actually land while multi-millisecond GC erases are
+// in flight — the contention suspend-resume exists to relieve.
+const intraChipQD = 8
+
+// IntraChipSweep (experiment a8) measures the intra-chip parallelism
+// axes: plane count (ops on distinct planes of one chip overlap within
+// the reordering window) x erase suspend policy (an incoming read may
+// preempt an in-flight erase at suspend/resume cost), on the 4-chip
+// device at queue depth 8, websql, conventional vs PPB, causal GC
+// dependencies, erase deferral off so erases sit head-of-line — exactly
+// where suspension bites. Striped dispatch keeps block placement
+// timing-independent, so erase counts must be identical across every
+// cell of the sweep: planes and suspension move only time, never data.
+func IntraChipSweep(s Scale) (*FigureResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	base := trimToChipMultiple(s.DeviceConfig(16<<10, 2.0), intraChipChips).WithChips(intraChipChips)
+	wl := s.WebSQLWorkload()
+	specs := make([]RunSpec, 0, len(IntraChipPlaneCounts)*len(IntraChipSuspendModes)*2)
+	for _, planes := range IntraChipPlaneCounts {
+		dev := base.WithPlanes(planes)
+		for _, susp := range IntraChipSuspendModes {
+			p := pairSpecs(fmt.Sprintf("intrachip-sweep/p%d/%s", planes, susp), s, 16<<10, 2.0, wl)
+			p[0].Device, p[1].Device = dev, dev
+			p[0].QueueDepth, p[1].QueueDepth = intraChipQD, intraChipQD
+			p[0].Dispatch, p[1].Dispatch = "striped", "striped"
+			p[0].Suspend, p[1].Suspend = susp, susp
+			specs = append(specs, p[0], p[1])
+		}
+	}
+	results, err := RunAll(specs, s.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	tbl := metrics.NewTable("Experiment a8: plane count x erase suspend (websql, 4 chips, QD 8)",
+		"planes", "suspend", "conv makespan (s)", "ppb makespan (s)", "conv read p99", "ppb read p99", "conv suspends", "ppb suspends", "conv erases", "ppb erases")
+	fig := newFigure("a8-intrachip-sweep", tbl)
+	fig.recordThroughput(specs, results)
+	i := 0
+	for _, planes := range IntraChipPlaneCounts {
+		for _, susp := range IntraChipSuspendModes {
+			conv, ppb := results[i], results[i+1]
+			i += 2
+			key := fmt.Sprintf("p%d/%s", planes, susp)
+			fig.add(key+"/makespan/conv", conv.Makespan.Seconds())
+			fig.add(key+"/makespan/ppb", ppb.Makespan.Seconds())
+			fig.add(key+"/readp99/conv", conv.ReadP99.Seconds())
+			fig.add(key+"/readp99/ppb", ppb.ReadP99.Seconds())
+			fig.add(key+"/suspends/conv", float64(conv.Suspends))
+			fig.add(key+"/suspends/ppb", float64(ppb.Suspends))
+			fig.add(key+"/erases/conv", float64(conv.Erases))
+			fig.add(key+"/erases/ppb", float64(ppb.Erases))
+			tbl.AddRow(planes, susp, conv.Makespan.Seconds(), ppb.Makespan.Seconds(),
+				conv.ReadP99, ppb.ReadP99, conv.Suspends, ppb.Suspends, conv.Erases, ppb.Erases)
+		}
+	}
+	return fig, nil
+}
+
 // TableOne renders the experimental parameters (the paper's Table 1).
 func TableOne() *FigureResult {
 	cfg := Scale{DeviceDivisor: 1, WriteTurnover: 1}.DeviceConfig(16<<10, 2.0)
@@ -695,8 +768,9 @@ var Experiments = map[string]func(Scale) (*FigureResult, error){
 	"a5": QDSweep,
 	"a6": DispatchSweep,
 	"a7": CausalSweep,
+	"a8": IntraChipSweep,
 	"a9": ReliabilitySweep,
 }
 
 // ExperimentOrder is the presentation order for "run everything".
-var ExperimentOrder = []string{"12", "13", "14", "15", "16", "17", "18", "3", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a9"}
+var ExperimentOrder = []string{"12", "13", "14", "15", "16", "17", "18", "3", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9"}

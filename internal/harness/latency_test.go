@@ -106,7 +106,7 @@ func TestErasesExcludePrePlayWork(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	res := collect(spec, f, eraseBase, nand.ReliabilityStats{}, 0, 0, rm)
+	res := collect(spec, f, eraseBase, nand.ReliabilityStats{}, 0, 0, 0, rm)
 	if res.Erases != 0 {
 		t.Errorf("read-only window reported %d erases (pre-window count %d leaked in)",
 			res.Erases, eraseBase)

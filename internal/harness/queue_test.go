@@ -204,6 +204,41 @@ func TestOpenLoopReplay(t *testing.T) {
 	}
 }
 
+// TestOpenLoopZeroTimeRequestObserved is the harness end of the burst
+// validity fix: the very first open-loop request arrives at t=0, its
+// burst starts at the real timestamp 0, and it must be recorded as a
+// completed request with an exact-zero queueing delay — not dropped as
+// an empty burst because its start collides with the zero sentinel.
+func TestOpenLoopZeroTimeRequestObserved(t *testing.T) {
+	cfg := testScale.DeviceConfig(16<<10, 2)
+	f := buildQueueTestFTL(t, cfg, KindConventional)
+	ps := uint64(cfg.PageSize)
+	sent := false
+	gen := &workload.Func{WorkloadName: "zerotime", Bytes: 4 * ps, NextFunc: func() (trace.Request, bool) {
+		if sent {
+			return trace.Request{}, false
+		}
+		sent = true
+		return trace.Request{Time: 0, Op: trace.OpWrite, Offset: 0, Size: uint32(ps)}, true
+	}}
+	m := NewReplayMetrics()
+	if err := ReplayQueued(f, gen, m, ReplayOptions{QueueDepth: 1, OpenLoop: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.WriteLatency.Count(); got != 1 {
+		t.Fatalf("t=0 request recorded %d latency samples, want 1", got)
+	}
+	if got, want := m.WriteLatency.Sum(), cfg.ProgramCost(0); got != want {
+		t.Errorf("t=0 request latency = %v, want bare program cost %v", got, want)
+	}
+	if got := m.QueueDelay.Count(); got != 1 {
+		t.Errorf("t=0 request recorded %d queue-delay samples, want 1", got)
+	}
+	if got := m.QueueDelay.Sum(); got != 0 {
+		t.Errorf("t=0 request queue delay = %v, want exact zero", got)
+	}
+}
+
 // TestOpenLoopClampsNonMonotonicArrivals: a generator emitting an
 // out-of-order arrival must not move the open-loop clock backwards or
 // produce negative latencies.

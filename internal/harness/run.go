@@ -92,6 +92,14 @@ type RunSpec struct {
 	// nand.ReliabilityProfileByName. Empty leaves FTLOptions.Reliability
 	// in charge (nil there = off); a non-empty name overrides it.
 	Reliability string
+	// Suspend names the program/erase suspend-resume policy: "off" (the
+	// default — reads queue behind in-flight ops), "erase" (reads may
+	// preempt in-flight erases) or "full" (erases and programs). Empty
+	// leaves FTLOptions.Suspend in charge; a non-empty name overrides
+	// it. See nand.SuspendByName. Plane count and the reordering window
+	// live on the device config (nand.Config.Planes /
+	// FTLOptions.ReorderWindow).
+	Suspend string
 	// Wear names the wear-leveling policy: "none" (the default),
 	// "wear-aware" or "threshold-swap". Empty leaves FTLOptions.Wear in
 	// charge. See ftl.WearByName.
@@ -146,12 +154,18 @@ type Result struct {
 	// chips, overlapped operations shrink it.
 	Makespan time.Duration
 
+	// Suspends counts how many times a read preempted an in-flight
+	// erase or program during the measured trace (zero with
+	// RunSpec.Suspend off — see nand.Device.SetSuspend).
+	Suspends uint64
+
 	// Throughput of the measured replay. DeviceOps counts the device page
 	// reads, programs and erases of the trace era; SimOpsPerSec divides
 	// them by the simulated makespan — the device-ops-per-simulated-second
 	// speed signal ROADMAP item 1 asks for, deterministic like every other
 	// simulated number. ReplayEvents counts the discrete events the event
-	// loop processed (arrivals, issues, completions, erase commits) — also
+	// loop processed (arrivals, issues, completions, erase commits,
+	// suspend/resume marks) — also
 	// deterministic — while ReplayWall and WallEventsPerSec measure the
 	// simulator's own host-side speed and are NOT deterministic: equality
 	// comparisons must go through Canonical().
@@ -232,6 +246,13 @@ func buildFTL(spec RunSpec, dev *nand.Device) (ftl.FTL, error) {
 		}
 		spec.FTLOptions.Wear = w
 	}
+	if spec.Suspend != "" {
+		pol, err := nand.SuspendByName(spec.Suspend)
+		if err != nil {
+			return nil, err
+		}
+		spec.FTLOptions.Suspend = pol
+	}
 	if spec.Seed != 0 {
 		spec.FTLOptions.ReliabilitySeed = spec.Seed
 	}
@@ -287,12 +308,13 @@ func Run(spec RunSpec) (Result, error) {
 	relBase := dev.ReliabilityStats()
 	readsBase := dev.Stats().Reads.Value()
 	opsBase := readsBase + dev.Stats().Programs.Value() + dev.TotalErases()
+	suspendsBase := dev.Suspends()
 	rm := NewReplayMetrics()
 	opts := ReplayOptions{QueueDepth: spec.QueueDepth, OpenLoop: spec.OpenLoop}
 	if err := ReplayQueued(f, gen, rm, opts); err != nil {
 		return Result{}, fmt.Errorf("harness: %s: %w", spec.Name, err)
 	}
-	return collect(spec, f, eraseBase, relBase, readsBase, opsBase, rm), nil
+	return collect(spec, f, eraseBase, relBase, readsBase, opsBase, suspendsBase, rm), nil
 }
 
 // RunAll executes the specs on a pool of parallelism workers and returns
@@ -409,6 +431,21 @@ func NewReliabilityPageOpsFTL() (ftl.FTL, error) {
 	}}, dev)
 }
 
+// NewIntraChipPageOpsFTL builds the page-op microbenchmark subject with
+// the intra-chip parallelism features enabled: four chips of four
+// planes each (with the default reordering window the ftl layer
+// installs for multi-plane geometries) and erase suspension on. Used
+// by BenchmarkIntraChipPageOps and the CI alloc guard over the
+// multi-plane booking and suspend hot paths.
+func NewIntraChipPageOpsFTL() (ftl.FTL, error) {
+	dev, err := nand.NewDevice(nand.TableOneConfig().Scaled(128).WithChips(4).WithPlanes(4))
+	if err != nil {
+		return nil, err
+	}
+	return buildFTL(RunSpec{Kind: KindConventional, Suspend: "erase",
+		FTLOptions: ftl.Options{OverProvision: 0.2}}, dev)
+}
+
 // RunPageOps executes n iterations of the standard page-op loop (write
 // then read back, every third write bulk-sized so size-check
 // identifiers exercise both areas). This is the shared body of the
@@ -499,7 +536,8 @@ type ReplayMetrics struct {
 	QueueDelay   *metrics.Histogram // nil skips queue-delay recording
 
 	// Events counts the discrete events the replay's event loop popped
-	// (arrivals, issues, completions, erase commits) and Wall accumulates
+	// (arrivals, issues, completions, erase commits, suspend/resume
+	// marks) and Wall accumulates
 	// the host wall-clock time the measured replay took. Events is a
 	// deterministic property of the simulation; Wall is not — Result
 	// derives WallEventsPerSec from the pair and Canonical() masks the
@@ -558,10 +596,10 @@ func ReplayMeasured(f ftl.FTL, src trace.Stream, m *ReplayMetrics) error {
 
 // ReplayQueued replays the stream under a host queueing model, as one
 // discrete-event loop over a single time-ordered heap (internal/sched):
-// open-loop arrivals, queue-slot issues, per-request completions and
-// deferred-erase deadline commits are all first-class events popped in
-// (time, FIFO) order, so the whole replay is a deterministic fold over
-// one event sequence.
+// open-loop arrivals, queue-slot issues, per-request completions,
+// deferred-erase deadline commits and erase suspend/resume marks are all
+// first-class events popped in (time, FIFO) order, so the whole replay
+// is a deterministic fold over one event sequence.
 //
 // Closed loop (the default): up to QueueDepth requests are outstanding
 // at once. A pulled request schedules its issue event immediately when a
@@ -628,6 +666,15 @@ func ReplayQueued(f ftl.FTL, src trace.Stream, m *ReplayMetrics, opts ReplayOpti
 		events.Push(sched.Event{Time: deadline, Kind: sched.KindEraseCommit, Chip: int32(chip)})
 	})
 	defer dev.SetDeferralNotify(nil)
+	// Suspensions are booked synchronously inside the device (the read's
+	// burst already carries the preempted timing), so their events exist
+	// to put the suspend and resume instants into the replay's total
+	// event order — the popping loop only counts them.
+	dev.SetSuspendNotify(func(chip int, at, resumeAt time.Duration) {
+		events.Push(sched.Event{Time: at, Kind: sched.KindEraseSuspend, Chip: int32(chip)})
+		events.Push(sched.Event{Time: resumeAt, Kind: sched.KindEraseResume, Chip: int32(chip)})
+	})
+	defer dev.SetSuspendNotify(nil)
 
 	// pull fetches the next request and schedules how it enters the
 	// queue: open loop as an arrival event at its trace time, closed loop
@@ -694,6 +741,11 @@ func ReplayQueued(f ftl.FTL, src trace.Stream, m *ReplayMetrics, opts ReplayOpti
 			}
 		case sched.KindEraseCommit:
 			dev.CommitDeferredDeadline(int(e.Chip), e.Time)
+		case sched.KindEraseSuspend, sched.KindEraseResume:
+			// Already booked by the device at suspension time; popped only
+			// so suspensions appear in the replay's event order and count.
+			// Advancing the host issue clock here would be wrong: these
+			// are device-internal instants, not host dispatch points.
 		}
 	}
 	if dev.DeferredErases() > 0 {
@@ -756,7 +808,7 @@ func issueRequest(f ftl.FTL, r trace.Request, pageSize int) error {
 	return nil
 }
 
-func collect(spec RunSpec, f ftl.FTL, eraseBase uint64, relBase nand.ReliabilityStats, readsBase, opsBase uint64, rm *ReplayMetrics) Result {
+func collect(spec RunSpec, f ftl.FTL, eraseBase uint64, relBase nand.ReliabilityStats, readsBase, opsBase, suspendsBase uint64, rm *ReplayMetrics) Result {
 	st := f.Stats()
 	res := Result{
 		Name:          spec.Name,
@@ -783,6 +835,7 @@ func collect(spec RunSpec, f ftl.FTL, eraseBase uint64, relBase nand.Reliability
 			res.QueueDelayP99 = rm.QueueDelay.Quantile(0.99)
 		}
 		res.Makespan = f.Device().Makespan()
+		res.Suspends = f.Device().Suspends() - suspendsBase
 		ds := f.Device().Stats()
 		res.DeviceOps = ds.Reads.Value() + ds.Programs.Value() + f.Device().TotalErases() - opsBase
 		if s := res.Makespan.Seconds(); s > 0 {

@@ -48,6 +48,14 @@ func (c Config) BlockAddress(b BlockID) (chip, block int) {
 	return int(b) / c.BlocksPerChip, int(b) % c.BlocksPerChip
 }
 
+// PlaneOf returns the plane a block lives on: blocks interleave over the
+// planes of their chip (chip-local block index modulo PlaneCount), the
+// standard multi-plane NAND layout where consecutive blocks land on
+// alternating planes. Always zero for single-plane configs.
+func (c Config) PlaneOf(b BlockID) int {
+	return (int(b) % c.BlocksPerChip) % c.PlaneCount()
+}
+
 // PPNForBlockPage builds a flat PPN from a flat block id and page index.
 // Pointer receiver: called once per simulated page operation (see the
 // note in latency.go).

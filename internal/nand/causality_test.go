@@ -170,16 +170,21 @@ func TestEraseDeferralBlockReuseCommit(t *testing.T) {
 }
 
 // TestFlushDeferredErases: pending erases are booked at their chips'
-// free time so the makespan stops understating, and ResetClocks drops
-// whatever belongs to a discarded timeline.
+// free time, Makespan folds still-parked erases in even before the
+// flush (callers that skip FlushDeferredErases must not see understated
+// makespans), and ResetClocks drops whatever belongs to a discarded
+// timeline.
 func TestFlushDeferredErases(t *testing.T) {
 	d, cfg := deferTestDevice(t, time.Hour)
 	busy := d.ChipFree(0)
 	if _, err := d.EraseForce(0); err != nil {
 		t.Fatal(err)
 	}
-	if got := d.Makespan(); got != busy {
-		t.Fatalf("makespan %v before flush, want %v", got, busy)
+	if got, want := d.Makespan(), busy+cfg.EraseLatency; got != want {
+		t.Fatalf("makespan %v with parked erase, want folded %v", got, want)
+	}
+	if got := d.ChipFree(0); got != busy {
+		t.Fatalf("chip clock %v moved by Makespan probe, want %v", got, busy)
 	}
 	d.FlushDeferredErases()
 	if got, want := d.Makespan(), busy+cfg.EraseLatency; got != want {

@@ -32,6 +32,13 @@ type Config struct {
 	// Chips is the number of flash chips; the FTL sees a flat block space
 	// spanning all chips.
 	Chips int
+	// Planes is the number of planes per chip. Blocks interleave over the
+	// planes of their chip (chip-local block index modulo Planes — see
+	// PlaneOf), and operations on distinct planes of one chip may overlap
+	// within the device's reordering window (see Device.SetReorderWindow).
+	// Zero or one means the chip is a single serial execution unit, which
+	// is bit-identical to the pre-plane model.
+	Planes int
 	// Layers is the number of gate stack layers in the 3D structure.
 	// Pages map onto layers top-down: page 0 sits on the top (slow) layer
 	// and the last page on the bottom (fast) layer. PagesPerBlock must be
@@ -146,6 +153,21 @@ func (c Config) WithSpeedRatio(ratio float64) Config {
 	return c
 }
 
+// WithPlanes returns a copy of the config with n planes per chip.
+func (c Config) WithPlanes(n int) Config {
+	c.Planes = n
+	return c
+}
+
+// PlaneCount returns the effective planes per chip: max(Planes, 1), so
+// the zero value keeps the serial single-plane meaning.
+func (c Config) PlaneCount() int {
+	if c.Planes < 1 {
+		return 1
+	}
+	return c.Planes
+}
+
 // TotalBlocks returns the number of blocks across all chips.
 func (c Config) TotalBlocks() int { return c.BlocksPerChip * c.Chips }
 
@@ -179,6 +201,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("nand: BlocksPerChip must be positive, got %d", c.BlocksPerChip)
 	case c.Chips <= 0:
 		return fmt.Errorf("nand: Chips must be positive, got %d", c.Chips)
+	case c.Planes < 0:
+		return fmt.Errorf("nand: Planes must be non-negative, got %d", c.Planes)
+	case c.Planes > c.BlocksPerChip:
+		return fmt.Errorf("nand: Planes (%d) cannot exceed BlocksPerChip (%d)", c.Planes, c.BlocksPerChip)
 	case c.Layers <= 0:
 		return fmt.Errorf("nand: Layers must be positive, got %d", c.Layers)
 	case c.Layers > c.PagesPerBlock:

@@ -113,7 +113,21 @@ type DeviceStats struct {
 // operation targets the (already reallocated) block, whichever comes
 // first. Block contents, stats and the returned cost are unaffected;
 // only the time booking moves. FlushDeferredErases commits everything
-// still pending (the harness calls it before reading the makespan).
+// still pending (the harness calls it before reading the makespan), and
+// Makespan folds still-parked erases in so it never understates.
+//
+// # Intra-chip parallelism
+//
+// With Config.Planes > 1 each chip splits into plane execution units:
+// blocks interleave over planes (Config.PlaneOf) and ops on distinct
+// planes of one chip may overlap, bounded by the reordering window
+// (SetReorderWindow) — an op may start at most the window before the
+// chip's busiest plane drains, so window 0 keeps the chip serial and the
+// plane model inert. SetSuspend additionally lets an incoming read
+// preempt its plane's in-flight erase (or program) at configurable
+// suspend/resume cost, resuming the remainder afterward. Both knobs
+// honor the After ready floors and the deferred-erase machinery — a
+// committed deferred erase is itself suspendable. See intrachip.go.
 //
 // The flashvet:boundsafe marker below makes cmd/flashvet verify that
 // every exported introspection accessor bounds-checks its block and
@@ -135,13 +149,35 @@ type Device struct {
 
 	// Service-time clocks (see the type comment). now is the host issue
 	// time of the next operation; chipFree[c] is when chip c finishes its
-	// queued work; lastStart/lastFinish bracket the most recent op;
-	// nextReady is the one-shot ready-time floor armed by After.
+	// queued work (with planes > 1, the max over the chip's plane clocks);
+	// lastStart/lastFinish bracket the most recent op; nextReady is the
+	// one-shot ready-time floor armed by After.
 	now        time.Duration
 	chipFree   []time.Duration
 	lastStart  time.Duration
 	lastFinish time.Duration
 	nextReady  time.Duration
+
+	// Intra-chip parallelism state (see intrachip.go). planes is the
+	// per-chip plane count (1 = serial chip); planeFree[c*planes+p] is
+	// plane p of chip c's next-free clock, nil on single-plane devices
+	// where chipFree alone carries the schedule; window bounds how far
+	// before the chip's busiest plane drains an op on another plane may
+	// start (SetReorderWindow).
+	planes    int
+	window    time.Duration
+	planeFree []time.Duration
+
+	// Suspend-resume state (see SetSuspend): the active policy and its
+	// costs, the per-plane in-flight op records reads probe for a
+	// preemption target (nil while SuspendOff), the monotone suspension
+	// counter, and the event-replay hook told about every suspension.
+	suspendPol    SuspendPolicy
+	suspendCost   time.Duration
+	resumeCost    time.Duration
+	inflight      []inflightOp
+	suspends      uint64
+	suspendNotify func(chip int, at, resumeAt time.Duration)
 
 	// Deferred-erase state (see SetEraseDeferral): deferWindow > 0
 	// enables deferral, deferred[c] is chip c's FIFO of pending erases,
@@ -157,13 +193,17 @@ type Device struct {
 	maxWear uint32
 
 	// Burst window (see BeginBurst): the ops scheduled since the last
-	// BeginBurst call, their earliest start and latest finish. The harness
-	// brackets each host request with a burst so it can split the
-	// request's completion latency into queueing delay (issue to first op
-	// start) and service time without rescanning the chip clocks.
+	// BeginBurst call, their earliest start and latest finish. burstValid
+	// distinguishes "no ops scheduled" from a burst legitimately starting
+	// at t=0 (the first open-loop request): zero is a real timestamp, not
+	// a sentinel. The harness brackets each host request with a burst so
+	// it can split the request's completion latency into queueing delay
+	// (issue to first op start) and service time without rescanning the
+	// chip clocks.
 	burstOps   uint64
 	burstStart time.Duration
 	burstFin   time.Duration
+	burstValid bool
 }
 
 // NewDevice builds a device from a validated config.
@@ -183,6 +223,10 @@ func NewDevice(cfg Config) (*Device, error) {
 		d.progCost[p] = cfg.ProgramCost(p)
 	}
 	d.chipFree = make([]time.Duration, cfg.Chips)
+	d.planes = cfg.PlaneCount()
+	if d.planes > 1 {
+		d.planeFree = make([]time.Duration, cfg.Chips*d.planes)
+	}
 	return d, nil
 }
 
@@ -215,11 +259,17 @@ type deferredErase struct {
 
 // schedule books cost on the chip owning block b: the op starts when the
 // host has issued it (now), any armed ready-time floor has passed
-// (After), and the chip is free — deferred erases eligible to commit on
-// that chip are booked first. The op occupies the chip until its finish
-// time, which is returned.
-func (d *Device) schedule(b BlockID, cost time.Duration) time.Duration {
+// (After), and its plane is free — deferred erases eligible to commit on
+// that chip are booked first. With planes > 1 the op may start up to the
+// reordering window before the chip's busiest plane drains; a read under
+// an active suspend policy may instead preempt its plane's in-flight
+// erase (or program — see SetSuspend) and start almost immediately. The
+// op occupies its plane until its finish time, which is returned.
+//
+//flashvet:hotpath
+func (d *Device) schedule(b BlockID, cost time.Duration, kind opKind) time.Duration {
 	chip := int(b) / d.cfg.BlocksPerChip
+	plane := d.planeOf(b)
 	issue := d.now
 	if d.nextReady > issue {
 		issue = d.nextReady
@@ -228,20 +278,24 @@ func (d *Device) schedule(b BlockID, cost time.Duration) time.Duration {
 	if d.deferred != nil && len(d.deferred[chip]) > 0 {
 		d.commitEligible(chip, issue, b)
 	}
-	start := issue
-	if free := d.chipFree[chip]; free > start {
-		start = free
+	start := d.bookStart(chip, plane, issue)
+	if kind == opRead && d.suspendPol != SuspendOff {
+		if s, ok := d.trySuspend(chip, plane, issue, cost, start); ok {
+			start = s
+		}
 	}
 	fin := start + cost
-	d.chipFree[chip] = fin
+	d.bookFinish(chip, plane, fin)
+	d.recordInflight(chip, plane, kind, start, fin)
 	d.lastStart = start
 	d.lastFinish = fin
-	if d.burstOps == 0 || start < d.burstStart {
+	if !d.burstValid || start < d.burstStart {
 		d.burstStart = start
 	}
-	if d.burstOps == 0 || fin > d.burstFin {
+	if !d.burstValid || fin > d.burstFin {
 		d.burstFin = fin
 	}
+	d.burstValid = true
 	d.burstOps++
 	return fin
 }
@@ -276,11 +330,7 @@ func (d *Device) commitEligible(chip int, issue time.Duration, b BlockID) {
 		if n > must && !idleCommit && e.deadline > opStart {
 			break
 		}
-		start := d.chipFree[chip]
-		if e.arm > start {
-			start = e.arm
-		}
-		d.chipFree[chip] = start + e.cost
+		d.bookDeferred(chip, e)
 		n++
 	}
 	if n > 0 {
@@ -310,7 +360,15 @@ func (d *Device) After(t time.Duration) {
 // operation targets the reallocated block. Deferral moves only the time
 // booking — contents are erased and stats counted immediately — so
 // space accounting never lies.
+//
+// Disabling (window <= 0) flushes any still-parked erases first: with no
+// window there is no deadline event left to commit them, and leaving
+// them queued would silently understate the makespan until some later op
+// happened to touch their chip.
 func (d *Device) SetEraseDeferral(window time.Duration) {
+	if window <= 0 && d.deferWindow > 0 {
+		d.FlushDeferredErases()
+	}
 	d.deferWindow = window
 	if window > 0 && d.deferred == nil {
 		d.deferred = make([][]deferredErase, d.cfg.Chips)
@@ -353,17 +411,27 @@ func (d *Device) CommitDeferredDeadline(chip int, now time.Duration) {
 	q := d.deferred[chip]
 	n := 0
 	for n < len(q) && q[n].deadline <= now {
-		e := q[n]
-		start := d.chipFree[chip]
-		if e.arm > start {
-			start = e.arm
-		}
-		d.chipFree[chip] = start + e.cost
+		d.bookDeferred(chip, q[n])
 		n++
 	}
 	if n > 0 {
 		d.deferred[chip] = q[:copy(q, q[n:])]
 	}
+}
+
+// bookDeferred books one deferred erase on its chip, starting at
+// max(plane free, its arm time) — the single booking rule all three
+// commit paths (op-time scan, deadline event, drain flush) share. On a
+// single-plane device this is exactly max(chip free, arm). The booked
+// erase is recorded as in-flight so a read can still suspend it.
+//
+//flashvet:hotpath
+func (d *Device) bookDeferred(chip int, e deferredErase) {
+	plane := d.planeOf(e.block)
+	start := d.bookStart(chip, plane, e.arm)
+	fin := start + e.cost
+	d.bookFinish(chip, plane, fin)
+	d.recordInflight(chip, plane, opErase, start, fin)
 }
 
 // FlushDeferredErases commits every pending deferred erase at its chip's
@@ -374,11 +442,7 @@ func (d *Device) CommitDeferredDeadline(chip int, now time.Duration) {
 func (d *Device) FlushDeferredErases() {
 	for chip := range d.deferred {
 		for _, e := range d.deferred[chip] {
-			start := d.chipFree[chip]
-			if e.arm > start {
-				start = e.arm
-			}
-			d.chipFree[chip] = start + e.cost
+			d.bookDeferred(chip, e)
 		}
 		d.deferred[chip] = d.deferred[chip][:0]
 	}
@@ -411,13 +475,26 @@ func (d *Device) LastFinish() time.Duration { return d.lastFinish }
 func (d *Device) LastStart() time.Duration { return d.lastStart }
 
 // Makespan returns the simulated time at which every chip has drained its
-// queued work — the end-to-end service time of everything issued so far.
-// With Chips=1 this is exactly the serial sum of all operation costs.
+// queued work — the end-to-end service time of everything issued so far,
+// including erases still parked in the deferred queues (each would book
+// FIFO at max(chip free, arm), which is what the fold below computes), so
+// callers that never call FlushDeferredErases still see honest makespans.
+// With Chips=1 and no deferral this is exactly the serial sum of all
+// operation costs.
 func (d *Device) Makespan() time.Duration {
 	var max time.Duration
-	for _, f := range d.chipFree {
-		if f > max {
-			max = f
+	for chip, f := range d.chipFree {
+		end := f
+		if d.deferred != nil {
+			for _, e := range d.deferred[chip] {
+				if e.arm > end {
+					end = e.arm
+				}
+				end += e.cost
+			}
+		}
+		if end > max {
+			max = end
 		}
 	}
 	return max
@@ -472,24 +549,31 @@ func (v ClockView) ChipFree(chip int) time.Duration { return v.d.ChipFree(chip) 
 // completion (latest op finish) and queueing delay (earliest op start
 // minus issue) come straight from the device, independent of what other
 // outstanding requests schedule on other chips.
-func (d *Device) BeginBurst() { d.burstOps = 0 }
+func (d *Device) BeginBurst() {
+	d.burstOps = 0
+	d.burstValid = false
+}
 
 // BurstOps returns how many operations the current burst scheduled.
 func (d *Device) BurstOps() uint64 { return d.burstOps }
 
 // BurstStart returns the earliest operation start time of the current
-// burst (zero when the burst scheduled nothing).
+// burst, gated on an explicit validity flag rather than the op count so
+// a burst that legitimately starts at t=0 (the first open-loop request)
+// is not conflated with an empty one. Zero when the burst scheduled
+// nothing.
 func (d *Device) BurstStart() time.Duration {
-	if d.burstOps == 0 {
+	if !d.burstValid {
 		return 0
 	}
 	return d.burstStart
 }
 
 // BurstFinish returns the latest operation completion time of the current
-// burst (zero when the burst scheduled nothing).
+// burst (zero when the burst scheduled nothing — see BurstStart for the
+// validity flag).
 func (d *Device) BurstFinish() time.Duration {
-	if d.burstOps == 0 {
+	if !d.burstValid {
 		return 0
 	}
 	return d.burstFin
@@ -507,8 +591,15 @@ func (d *Device) ResetClocks() {
 	d.burstOps = 0
 	d.burstStart = 0
 	d.burstFin = 0
+	d.burstValid = false
 	for i := range d.chipFree {
 		d.chipFree[i] = 0
+	}
+	for i := range d.planeFree {
+		d.planeFree[i] = 0
+	}
+	for i := range d.inflight {
+		d.inflight[i] = inflightOp{}
 	}
 	// Pending deferred erases belong to the discarded timeline (their
 	// contents were erased at issue time); booking them into the fresh
@@ -559,7 +650,7 @@ func (d *Device) Read(p PPN) (OOB, time.Duration, error) {
 		// off this branch never runs and costs are bit-identical.
 		cost += d.reliabilityPenalty(b, blk, p, page)
 	}
-	d.schedule(b, cost)
+	d.schedule(b, cost, opRead)
 	d.stats.Reads.Inc()
 	d.stats.ReadTime.Observe(cost)
 	return blk.oob[page], cost, nil
@@ -597,7 +688,7 @@ func (d *Device) Program(p PPN, oob OOB) (time.Duration, error) {
 	d.progSeq++
 	blk.lastProg = d.progSeq
 	cost := d.progCost[page]
-	d.schedule(b, cost)
+	d.schedule(b, cost, opProgram)
 	d.stats.Programs.Inc()
 	d.stats.ProgTime.Observe(cost)
 	return cost, nil
@@ -691,7 +782,7 @@ func (d *Device) eraseBlock(b BlockID, blk *blockState) time.Duration {
 			d.deferNotify(chip, arm+d.deferWindow)
 		}
 	} else {
-		d.schedule(b, d.cfg.EraseLatency)
+		d.schedule(b, d.cfg.EraseLatency, opErase)
 	}
 	d.stats.Erases.Inc()
 	d.stats.EraseTime.Observe(d.cfg.EraseLatency)

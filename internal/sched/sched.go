@@ -40,6 +40,14 @@ const (
 	// device must book the erase if no earlier idle gap or block reuse
 	// already committed it.
 	KindEraseCommit
+	// KindEraseSuspend marks a read preempting an in-flight erase or
+	// program (see nand.Device.SetSuspend). The device books the
+	// preemption synchronously; the event records it in the replay's
+	// total order for accounting and tracing.
+	KindEraseSuspend
+	// KindEraseResume marks the moment a suspended operation's remainder
+	// restarts after the preempting read and the resume cost.
+	KindEraseResume
 )
 
 // String returns the kind name.
@@ -53,6 +61,10 @@ func (k Kind) String() string {
 		return "completion"
 	case KindEraseCommit:
 		return "erase-commit"
+	case KindEraseSuspend:
+		return "erase-suspend"
+	case KindEraseResume:
+		return "erase-resume"
 	default:
 		return "Kind(?)"
 	}

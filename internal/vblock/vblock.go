@@ -196,6 +196,23 @@ func (m *Manager) Dispatch() DispatchPolicy { return m.policy }
 // custom DispatchPolicy enumerates when picking a chip.
 func (m *Manager) Chips() int { return len(m.free) }
 
+// Planes returns the per-chip plane count of the managed geometry
+// (1 on single-plane devices).
+func (m *Manager) Planes() int { return m.cfg.PlaneCount() }
+
+// PlaneOf returns the plane a block lives on under the managed
+// geometry: plane assignment is pure block geometry (chip-local block
+// index modulo the plane count — nand.Config.PlaneOf), so dispatch
+// policies that want plane-spread allocations can derive it from any
+// candidate block without consulting the device. Out-of-range blocks
+// report plane 0 like the other read-only accessors.
+func (m *Manager) PlaneOf(b nand.BlockID) int {
+	if int(b) < 0 || int(b) >= m.cfg.TotalBlocks() {
+		return 0
+	}
+	return m.cfg.PlaneOf(b)
+}
+
 // Clock returns the per-chip clock view installed by SetDispatch (nil
 // when none was given), for custom clock-aware dispatch policies.
 func (m *Manager) Clock() ChipClock { return m.clock }

@@ -180,6 +180,31 @@ func ReliabilityProfileByName(name string) (ReliabilityConfig, error) {
 // presentation order (the a9 sweep's profile axis).
 var ReliabilityProfileNames = nand.ReliabilityProfileNames
 
+// Intra-chip parallelism (internal/nand): multi-plane overlap and
+// program/erase suspend-resume.
+
+// SuspendPolicy selects which in-flight operation kinds an incoming
+// read may preempt (Device.SetSuspend, FTLOptions.Suspend).
+type SuspendPolicy = nand.SuspendPolicy
+
+// Suspend policies: off never preempts, erase suspends in-flight
+// erases only (the common hardware capability), full suspends programs
+// too.
+const (
+	SuspendOff   = nand.SuspendOff
+	SuspendErase = nand.SuspendErase
+	SuspendFull  = nand.SuspendFull
+)
+
+// SuspendByName resolves a suspend policy from its name ("off",
+// "erase", "full"; empty means off) — the spelling RunSpec.Suspend and
+// flashsim -suspend accept.
+func SuspendByName(name string) (SuspendPolicy, error) { return nand.SuspendByName(name) }
+
+// SuspendPolicyNames lists the suspend policies in presentation order
+// (the a8 sweep's policy axis).
+var SuspendPolicyNames = nand.SuspendPolicyNames
+
 // The PPB strategy (internal/core).
 type (
 	// PPB is the progressive performance boosting FTL — the paper's
@@ -311,6 +336,12 @@ func NewPageOpsFTL(kind FTLKind) (FTL, error) { return harness.NewPageOpsFTL(kin
 // by BenchmarkReliabilityPageOps and ppbench -json.
 func NewReliabilityPageOpsFTL() (FTL, error) { return harness.NewReliabilityPageOpsFTL() }
 
+// NewIntraChipPageOpsFTL builds the page-op microbenchmark subject with
+// intra-chip parallelism enabled (multi-plane booking and erase
+// suspension — the a8 hot paths), shared by BenchmarkIntraChipPageOps
+// and ppbench -json.
+func NewIntraChipPageOpsFTL() (FTL, error) { return harness.NewIntraChipPageOpsFTL() }
+
 // FTLKindNames lists the FTL strategy kinds in presentation order — the
 // spellings RunSpec.Kind and flashsim -ftl accept.
 var FTLKindNames = harness.FTLKindNames
@@ -353,9 +384,10 @@ func RunEventLoop(f FTL, m *ReplayMetrics, n int) error { return harness.RunEven
 func NewReplayMetrics() *ReplayMetrics { return harness.NewReplayMetrics() }
 
 // Experiment runs one of the paper's experiments by ID ("12".."18" for
-// figures, "3" for the motivation study, "a1".."a7" for ablations, the
-// chip-parallel, queue-depth, dispatch-policy and causality/erase-
-// deferral sweeps, "a9" for the reliability-engine sweep).
+// figures, "3" for the motivation study, "a1".."a8" for ablations — the
+// chip-parallel, queue-depth, dispatch-policy, causality/erase-deferral
+// and intra-chip parallelism sweeps — and "a9" for the
+// reliability-engine sweep).
 func Experiment(id string, s Scale) (*FigureResult, error) {
 	fn, ok := harness.Experiments[id]
 	if !ok {
@@ -379,5 +411,5 @@ type unknownExperimentError string
 func errUnknownExperiment(id string) error { return unknownExperimentError(id) }
 
 func (e unknownExperimentError) Error() string {
-	return "ppbflash: unknown experiment " + string(e) + " (want one of 3, 12-18, a1-a7, a9)"
+	return "ppbflash: unknown experiment " + string(e) + " (want one of 3, 12-18, a1-a9)"
 }
