@@ -221,3 +221,25 @@ func BenchmarkEventLoop(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// BenchmarkCompositorEventLoop measures the multi-tenant replay stack:
+// each iteration is one request merged out of a four-child stream
+// compositor (closed-loop shares, per-tenant address regions), issued
+// through the event loop with per-tenant latency attribution and
+// tenant-partition dispatch on a four-chip device. The delta over
+// BenchmarkEventLoop is the compositor merge plus the tenant
+// bookkeeping. Steady state must stay at 0 allocs/op — the compositor's
+// slots, the per-tenant histograms and the replay's locals are all
+// allocated up front — and CI smoke-checks this.
+func BenchmarkCompositorEventLoop(b *testing.B) {
+	f, err := NewTenantPageOpsFTL()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := NewReplayMetrics()
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := RunCompositorEventLoop(f, m, b.N); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -8,10 +8,10 @@
 //	flashsim -ftl ppb -trace websql.csv [-format msr] [-gb 4] \
 //	         [-ratio 2] [-pagesize 16384] [-chips N] [-qd N] [-openloop] \
 //	         [-planes N] [-suspend off|erase|full] [-reorder-window D] \
-//	         [-dispatch striped|least-loaded|hotcold-affinity] \
+//	         [-dispatch striped|least-loaded|hotcold-affinity|tenant-partition] \
 //	         [-dependency causal|legacy] [-defer-erases] \
 //	         [-reliability off|low|high] [-wear none|wear-aware|threshold-swap] \
-//	         [-seed N] [-prefill] [-parallel N]
+//	         [-seed N] [-prefill] [-parallel N] [-tenants N]
 //
 // -ftl accepts a comma-separated list (e.g. -ftl conventional,ppb); the
 // strategies replay the same trace concurrently on a worker pool.
@@ -23,8 +23,17 @@
 //
 // -dispatch picks the chip-dispatch policy for fresh-block allocation on
 // multi-chip devices (-chips > 1): round-robin striping (default), the
-// earliest-free chip by the device clocks, or hot-stream pools pinned to
-// a chip subset.
+// earliest-free chip by the device clocks, hot-stream pools pinned to
+// a chip subset, or per-tenant chip partitions (pair with -tenants).
+//
+// -tenants N replays the trace as N tenants: each tenant streams its own
+// copy of the trace into its own 1/N slice of the logical space, merged
+// round-robin with equal closed-loop shares by a stream compositor, and
+// the report breaks latency percentiles down per tenant. Combine with
+// -dispatch tenant-partition to confine each tenant's allocations (and
+// the GC they trigger) to its own chips. With -tenants the synthetic
+// share order replaces the trace's own arrival timestamps, so -openloop
+// issues at the compositor's interleaving, not the original trace times.
 //
 // -planes splits each chip into N planes: operations on blocks of
 // distinct planes of one chip may overlap within a bounded reordering
@@ -78,7 +87,7 @@ func main() {
 		planes   = flag.Int("planes", 1, "planes per chip (intra-chip operation overlap)")
 		suspend  = flag.String("suspend", "off", "read preemption of in-flight ops: off, erase or full")
 		reorder  = flag.Duration("reorder-window", 0, "cross-plane reordering window (0 = 4x erase latency when -planes > 1)")
-		dispatch = flag.String("dispatch", "striped", "chip-dispatch policy: striped, least-loaded or hotcold-affinity")
+		dispatch = flag.String("dispatch", "striped", "chip-dispatch policy: striped, least-loaded, hotcold-affinity or tenant-partition")
 		depModel = flag.String("dependency", "causal", "GC dependency model: causal or legacy")
 		deferE   = flag.Bool("defer-erases", false, "defer GC erases on busy chips to their next idle gap")
 		relProf  = flag.String("reliability", "off", "reliability preset: off, low or high")
@@ -89,11 +98,16 @@ func main() {
 		prefill  = flag.Bool("prefill", true, "write the whole logical space before replay")
 		disk     = flag.Int("disk", -1, "replay only this MSR disk number (-1 = all)")
 		parallel = flag.Int("parallel", 0, "concurrent runs when several FTLs are given (0 = GOMAXPROCS)")
+		tenants  = flag.Int("tenants", 1, "replay the trace as N tenants, each in its own logical-space slice (1 = classic single-stream)")
 	)
 	flag.Parse()
 	if *path == "" {
 		fmt.Fprintln(os.Stderr, "flashsim: -trace is required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *tenants < 1 || *tenants > ppbflash.MaxTenants {
+		fmt.Fprintf(os.Stderr, "flashsim: -tenants %d out of range [1, %d]\n", *tenants, ppbflash.MaxTenants)
 		os.Exit(2)
 	}
 	// Reject bad policy names before the (possibly long) trace load, with
@@ -143,11 +157,7 @@ func main() {
 		if name == "" {
 			continue
 		}
-		// One stream per strategy: RunAll replays strategies concurrently,
-		// so each gets its own file handle and read position.
-		st := &traceStream{path: *path, format: *format, disk: *disk}
-		streams = append(streams, st)
-		specs = append(specs, ppbflash.RunSpec{
+		spec := ppbflash.RunSpec{
 			Name:        *path + "/" + name,
 			Device:      cfg,
 			Kind:        ppbflash.FTLKind(name),
@@ -162,11 +172,43 @@ func main() {
 			Reliability: *relProf,
 			Wear:        *wear,
 			Seed:        *seed,
-			Workload: func(logicalBytes uint64) ppbflash.Generator {
+			Tenants:     *tenants,
+		}
+		if *tenants > 1 {
+			// One stream per tenant per strategy: each tenant replays its
+			// own copy of the trace, wrapped into its own 1/N slice of the
+			// logical space by the compositor's AddrOffset.
+			children := make([]*traceStream, *tenants)
+			for t := range children {
+				children[t] = &traceStream{path: *path, format: *format, disk: *disk}
+				streams = append(streams, children[t])
+			}
+			spec.Workload = func(logicalBytes uint64) ppbflash.Generator {
+				region := logicalBytes / uint64(len(children))
+				kids := make([]ppbflash.CompositorChild, len(children))
+				for t, st := range children {
+					st.bytes = region
+					kids[t] = ppbflash.CompositorChild{
+						Stream:     st,
+						Tenant:     uint8(t),
+						Share:      1,
+						AddrOffset: uint64(t) * region,
+					}
+				}
+				return &tenantGen{comp: ppbflash.NewCompositor(kids...), bytes: logicalBytes}
+			}
+		} else {
+			// One stream per strategy: RunAll replays strategies
+			// concurrently, so each gets its own file handle and read
+			// position.
+			st := &traceStream{path: *path, format: *format, disk: *disk}
+			streams = append(streams, st)
+			spec.Workload = func(logicalBytes uint64) ppbflash.Generator {
 				st.bytes = logicalBytes
 				return st
-			},
-		})
+			}
+		}
+		specs = append(specs, spec)
 	}
 	if len(specs) == 0 {
 		fmt.Fprintln(os.Stderr, "flashsim: -ftl names no strategy")
@@ -225,6 +267,11 @@ func main() {
 		if *relProf != "off" {
 			fmt.Printf("rel:    %s profile, %s wear: retry rate %.4f%% (mean %.2f steps), %d uncorrectable, %d blocks retired\n",
 				*relProf, *wear, res.RetryRate*100, res.MeanRetrySteps, res.UncorrectableReads, res.RetiredBlocks)
+		}
+		for t := 0; t < res.TenantCount; t++ {
+			tr := res.Tenants[t]
+			fmt.Printf("tenant: #%d %d reqs, read p50/p95/p99 %v/%v/%v, qdelay p99 %v\n",
+				tr.Tenant, tr.Ops, tr.ReadP50, tr.ReadP95, tr.ReadP99, tr.QueueDelayP99)
 		}
 		fmt.Printf("layout: %.1f%% of host reads served from fast pages\n", res.FastReadShare*100)
 		if res.Kind == ppbflash.KindPPB {
@@ -371,3 +418,16 @@ func (t *traceStream) Next() (ppbflash.Request, bool) {
 // Err reports the first open or parse error that ended the stream, if
 // any. A clean end-of-trace returns nil.
 func (t *traceStream) Err() error { return t.err }
+
+// tenantGen adapts a per-tenant stream compositor to the Generator the
+// harness replays. The merged stream spans the whole logical space even
+// though each child traceStream is confined to its own slice; parse
+// errors still surface through the children's own Err.
+type tenantGen struct {
+	comp  *ppbflash.Compositor
+	bytes uint64
+}
+
+func (g *tenantGen) Name() string                   { return "replay" }
+func (g *tenantGen) LogicalBytes() uint64           { return g.bytes }
+func (g *tenantGen) Next() (ppbflash.Request, bool) { return g.comp.Next() }

@@ -49,7 +49,7 @@ func TestValidateNames(t *testing.T) {
 			wantErr: `unknown FTL "bogus"`},
 		{name: "unknown dispatch", ftl: okFTL,
 			dispatch: "round-robin", dependency: okDep, reliability: okRel, wear: okWear,
-			wantErr: "striped, least-loaded or hotcold-affinity"},
+			wantErr: "striped, least-loaded, hotcold-affinity or tenant-partition"},
 		{name: "unknown dependency", ftl: okFTL,
 			dispatch: okDisp, dependency: "acausal", reliability: okRel, wear: okWear,
 			wantErr: "causal or legacy"},

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ppbench [-fig all|3|12|13|14|15|16|17|18|a1|a2|a3|a4|a5|a6|a7|a9] [-scale quick|bench|paper]
+//	ppbench [-fig all|3|12|13|14|15|16|17|18|a1|a2|...|a10] [-scale quick|bench|paper]
 //	        [-divisor N] [-turnover F] [-seed N] [-parallel N]
 //	        [-json] [-out BENCH_1.json]
 //
@@ -64,7 +64,7 @@ type figureEntry struct {
 
 func main() {
 	var (
-		figFlag      = flag.String("fig", "all", "experiment id (3, 12-18, a1-a9) or 'all'")
+		figFlag      = flag.String("fig", "all", "experiment id (3, 12-18, a1-a10) or 'all'")
 		scaleFlag    = flag.String("scale", "bench", "preset scale: quick, bench or paper")
 		divisorFlag  = flag.Int("divisor", 0, "override device divisor (1 = full 64 GB)")
 		turnoverFlag = flag.Float64("turnover", 0, "override write turnover multiple")
@@ -156,16 +156,17 @@ func effectiveParallelism(p int) int {
 
 // microBenchmarks measures the raw page-op throughput of the simulator
 // (cost floor), of the full PPB strategy, of the retried-read hot path
-// under the reliability model, of the multi-plane/suspend booking, and
-// of the discrete-event replay loop itself. It shares the loops and
-// configurations with the repo's BenchmarkDevicePageOps/
-// BenchmarkPPBPageOps/BenchmarkReliabilityPageOps/
-// BenchmarkIntraChipPageOps/BenchmarkEventLoop through the ppbflash
+// under the reliability model, of the multi-plane/suspend booking, of
+// the discrete-event replay loop itself, and of that loop under the
+// four-tenant stream compositor. It shares the loops and configurations
+// with the repo's BenchmarkDevicePageOps/BenchmarkPPBPageOps/
+// BenchmarkReliabilityPageOps/BenchmarkIntraChipPageOps/
+// BenchmarkEventLoop/BenchmarkCompositorEventLoop through the ppbflash
 // constructors, so the -json report and the CI benchmarks always
 // measure the same thing.
 func microBenchmarks() []microBenchEntry {
 	runPageOps := func(f ppbflash.FTL, n int) error { return ppbflash.RunPageOps(f, n) }
-	out := make([]microBenchEntry, 0, 5)
+	out := make([]microBenchEntry, 0, 6)
 	for _, mb := range []struct {
 		name  string
 		build func() (ppbflash.FTL, error)
@@ -178,6 +179,11 @@ func microBenchmarks() []microBenchEntry {
 		{"EventLoop",
 			func() (ppbflash.FTL, error) { return ppbflash.NewPageOpsFTL(ppbflash.KindConventional) },
 			func(f ppbflash.FTL, n int) error { return ppbflash.RunEventLoop(f, ppbflash.NewReplayMetrics(), n) }},
+		{"CompositorEventLoop",
+			ppbflash.NewTenantPageOpsFTL,
+			func(f ppbflash.FTL, n int) error {
+				return ppbflash.RunCompositorEventLoop(f, ppbflash.NewReplayMetrics(), n)
+			}},
 	} {
 		build, run := mb.build, mb.run
 		res := testing.Benchmark(func(b *testing.B) {

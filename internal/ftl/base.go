@@ -47,6 +47,9 @@ func NewBase(dev *nand.Device, vbm *vblock.Manager, opts Options) (Base, error) 
 		return Base{}, fmt.Errorf("ftl: NewBase requires a vblock manager")
 	}
 	vbm.SetDispatch(opts.Dispatch, dev.ClockView())
+	if opts.Tenants > 1 {
+		vbm.SetTenants(opts.Tenants)
+	}
 	if opts.DeferErases {
 		dev.SetEraseDeferral(opts.EraseDeferWindow)
 	}
@@ -95,6 +98,15 @@ func (b *Base) Map() *Mapping { return b.table }
 
 // Manager returns the virtual-block manager the base was built with.
 func (b *Base) Manager() *vblock.Manager { return b.vbm }
+
+// SetTenant announces the tenant whose request the FTL is about to
+// serve, so tenant-aware dispatch policies (vblock.TenantPartition and
+// the tenant slicing in vblock.HotColdAffinity) route the allocations it
+// triggers — the host write and any GC it cascades into — onto that
+// tenant's chips. The replay calls it per request on multi-tenant runs;
+// single-tenant runs never call it, and with Options.Tenants <= 1 the
+// manager ignores the active tenant entirely.
+func (b *Base) SetTenant(t int) { b.vbm.SetActiveTenant(t) }
 
 // Invalidate drops a physical page and keeps the victim index current.
 // All FTL-side invalidation must go through here (not nand.Device

@@ -187,6 +187,14 @@ type Options struct {
 	// ReliabilitySeed seeds the model's fault-injection PRNG; equal
 	// seeds reproduce identical fault sequences at any run parallelism.
 	ReliabilitySeed int64
+	// Tenants declares the tenant population sharing the FTL (the
+	// replay's distinct Request.Tenant IDs). Values above 1 enable
+	// tenant-aware dispatch: the vblock manager learns the population at
+	// construction and the harness announces the active tenant per
+	// request through Base.SetTenant. Zero or 1 (the single-stream
+	// replays) leaves every dispatch policy bit-identical to its
+	// pre-tenant behavior.
+	Tenants int
 }
 
 func (o Options) withDefaults(cfg nand.Config) Options {
@@ -264,6 +272,9 @@ func (o Options) Validate(cfg nand.Config) error {
 		if err := o.Reliability.Validate(); err != nil {
 			return err
 		}
+	}
+	if o.Tenants < 0 {
+		return fmt.Errorf("ftl: negative tenant count %d", o.Tenants)
 	}
 	return nil
 }

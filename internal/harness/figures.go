@@ -7,7 +7,6 @@ import (
 	"ppbflash/internal/hotness"
 	"ppbflash/internal/metrics"
 	"ppbflash/internal/nand"
-	"ppbflash/internal/vblock"
 )
 
 // FigureResult bundles a rendered table with the raw numeric series so
@@ -498,10 +497,14 @@ func QDSweep(s Scale) (*FigureResult, error) {
 	return fig, nil
 }
 
-// DispatchPolicies is the policy axis of experiment a6 (the names
-// RunSpec.Dispatch accepts, in presentation order) — aliased from the
-// policy registry so a new built-in policy joins the sweep automatically.
-var DispatchPolicies = vblock.DispatchPolicyNames
+// DispatchPolicies is the policy axis of experiments a6 and a7, frozen
+// to the single-tenant policies those goldens were recorded over. It
+// deliberately does NOT alias vblock.DispatchPolicyNames anymore:
+// tenant-partition joined the registry for the multi-tenant sweep (a10),
+// and on a single-tenant run it degenerates to least-loaded — sweeping
+// it in a6/a7 would double a column and shift the golden fixtures for
+// no information. TestDispatchByName still covers every registered name.
+var DispatchPolicies = []string{"striped", "least-loaded", "hotcold-affinity"}
 
 // DispatchSweepDepths is the queue-depth axis of experiment a6: deep
 // enough that block placement decides how much of the queue overlaps.
@@ -768,9 +771,10 @@ var Experiments = map[string]func(Scale) (*FigureResult, error){
 	"a5": QDSweep,
 	"a6": DispatchSweep,
 	"a7": CausalSweep,
-	"a8": IntraChipSweep,
-	"a9": ReliabilitySweep,
+	"a8":  IntraChipSweep,
+	"a9":  ReliabilitySweep,
+	"a10": TenantSweep,
 }
 
 // ExperimentOrder is the presentation order for "run everything".
-var ExperimentOrder = []string{"12", "13", "14", "15", "16", "17", "18", "3", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9"}
+var ExperimentOrder = []string{"12", "13", "14", "15", "16", "17", "18", "3", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9", "a10"}

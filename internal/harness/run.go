@@ -108,6 +108,18 @@ type RunSpec struct {
 	// leaves FTLOptions.ReliabilitySeed in charge). Runs with equal
 	// seeds inject identical faults at any RunAll parallelism.
 	Seed int64
+	// Tenants declares the tenant population of a multi-tenant replay:
+	// the number of distinct Request.Tenant IDs the workload emits
+	// (build the stream with a trace.Compositor — see
+	// Scale.TenantWorkloads). Values above 1 switch on the tenant
+	// machinery end to end: per-tenant latency accounting
+	// (Result.Tenants), the active-tenant announcement to the FTL before
+	// every issue, and tenant-aware dispatch when the policy consults it
+	// ("tenant-partition", "hotcold-affinity"). 0 and 1 both mean the
+	// classic single-stream replay, bit-identical to the pre-tenant
+	// harness. Capped at trace.MaxTenants (higher IDs fold into the last
+	// accounting slot).
+	Tenants int
 }
 
 // Result carries the measurements of one run.
@@ -186,6 +198,16 @@ type Result struct {
 	RetryRate          float64 // retried reads / device reads
 	MeanRetrySteps     float64 // retry steps per retried read
 
+	// Tenants breaks the measured replay down per tenant on multi-tenant
+	// runs (RunSpec.Tenants >= 2): slots [0, TenantCount) carry each
+	// tenant's completed requests and latency percentiles; the rest stay
+	// zero. Single-tenant runs leave TenantCount 0 and the whole array
+	// zero, so the field never perturbs existing Result comparisons. The
+	// array is fixed-size (trace.MaxTenants) to keep Result comparable
+	// with ==.
+	Tenants     [trace.MaxTenants]TenantResult
+	TenantCount int
+
 	// Skipped marks a run that RunAll never finished because an earlier
 	// spec in the same batch failed (fail-fast). All measurement fields of
 	// a skipped row are zero; tabulating code must drop such rows instead
@@ -196,6 +218,34 @@ type Result struct {
 	Migrations uint64
 	Diversions uint64
 	Demotions  uint64
+}
+
+// TenantResult carries one tenant's share of a multi-tenant replay: its
+// completed requests and the same completion-latency and queue-delay
+// percentiles Result reports globally, computed over that tenant's
+// requests alone. The per-tenant histograms behind it use the same
+// bounds as the global ones, so a tenant's percentile is directly
+// comparable to the run-wide figure. All fields are simulated numbers —
+// deterministic, covered by Canonical() comparisons unchanged.
+type TenantResult struct {
+	// Tenant is the tenant ID (the slot index; folded IDs land in the
+	// last slot, see trace.MaxTenants).
+	Tenant int
+	// Ops counts the tenant's completed measured requests (requests that
+	// scheduled no device work are not observed, matching the global
+	// histograms).
+	Ops uint64
+
+	ReadP50  time.Duration
+	ReadP95  time.Duration
+	ReadP99  time.Duration
+	WriteP50 time.Duration
+	WriteP95 time.Duration
+	WriteP99 time.Duration
+
+	QueueDelayP50 time.Duration
+	QueueDelayP95 time.Duration
+	QueueDelayP99 time.Duration
 }
 
 // Canonical returns the result with its wall-clock-derived fields
@@ -256,6 +306,9 @@ func buildFTL(spec RunSpec, dev *nand.Device) (ftl.FTL, error) {
 	if spec.Seed != 0 {
 		spec.FTLOptions.ReliabilitySeed = spec.Seed
 	}
+	if spec.Tenants > 1 {
+		spec.FTLOptions.Tenants = spec.Tenants
+	}
 	switch spec.Kind {
 	case KindConventional:
 		return ftl.NewConventional(dev, spec.FTLOptions)
@@ -310,7 +363,10 @@ func Run(spec RunSpec) (Result, error) {
 	opsBase := readsBase + dev.Stats().Programs.Value() + dev.TotalErases()
 	suspendsBase := dev.Suspends()
 	rm := NewReplayMetrics()
-	opts := ReplayOptions{QueueDepth: spec.QueueDepth, OpenLoop: spec.OpenLoop}
+	if spec.Tenants > 1 {
+		rm.EnableTenants(spec.Tenants)
+	}
+	opts := ReplayOptions{QueueDepth: spec.QueueDepth, OpenLoop: spec.OpenLoop, Tenants: spec.Tenants}
 	if err := ReplayQueued(f, gen, rm, opts); err != nil {
 		return Result{}, fmt.Errorf("harness: %s: %w", spec.Name, err)
 	}
@@ -544,6 +600,69 @@ type ReplayMetrics struct {
 	// wall-clock side for equality comparisons.
 	Events uint64
 	Wall   time.Duration
+
+	// tenants holds the per-tenant histogram sets of a multi-tenant
+	// replay, nil on single-tenant runs so the classic path never pays
+	// for them (see EnableTenants). Tenant IDs at or beyond the slice
+	// fold into the last slot, mirroring trace.Stats.
+	tenants []tenantMetrics
+}
+
+// tenantMetrics is one tenant's accumulator: completed requests plus
+// the same three histograms ReplayMetrics keeps globally.
+type tenantMetrics struct {
+	ops   uint64
+	read  *metrics.Histogram
+	write *metrics.Histogram
+	delay *metrics.Histogram
+}
+
+// EnableTenants allocates per-tenant histogram sets for a population of
+// n tenants (clamped to [2, trace.MaxTenants]), using the same default
+// bounds as the global histograms. Call before the replay; observe then
+// attributes every completed request to its tenant's set as well as the
+// global ones.
+func (m *ReplayMetrics) EnableTenants(n int) {
+	if n < 2 {
+		n = 2
+	}
+	if n > trace.MaxTenants {
+		n = trace.MaxTenants
+	}
+	m.tenants = make([]tenantMetrics, n)
+	for i := range m.tenants {
+		m.tenants[i] = tenantMetrics{
+			read:  metrics.DefaultLatencyHistogram(),
+			write: metrics.DefaultLatencyHistogram(),
+			delay: metrics.DefaultQueueDelayHistogram(),
+		}
+	}
+}
+
+// TenantCount returns how many per-tenant accumulators are active (zero
+// on single-tenant replays).
+func (m *ReplayMetrics) TenantCount() int { return len(m.tenants) }
+
+// TenantResult summarizes tenant t's accumulated samples in Result's
+// per-tenant shape. Out-of-range t returns a zero value.
+func (m *ReplayMetrics) TenantResult(t int) TenantResult {
+	if t < 0 || t >= len(m.tenants) {
+		return TenantResult{}
+	}
+	ts := &m.tenants[t]
+	return TenantResult{
+		Tenant:        t,
+		Ops:           ts.ops,
+		ReadP50:       ts.read.Quantile(0.50),
+		ReadP95:       ts.read.Quantile(0.95),
+		ReadP99:       ts.read.Quantile(0.99),
+		WriteP50:      ts.write.Quantile(0.50),
+		WriteP95:      ts.write.Quantile(0.95),
+		WriteP99:      ts.write.Quantile(0.99),
+		QueueDelayP50: ts.delay.Quantile(0.50),
+		QueueDelayP95: ts.delay.Quantile(0.95),
+		QueueDelayP99: ts.delay.Quantile(0.99),
+	}
 }
 
 // NewReplayMetrics builds latency histograms with the default request
@@ -556,10 +675,11 @@ func NewReplayMetrics() *ReplayMetrics {
 	}
 }
 
-// observe folds one completed request into the histograms.
+// observe folds one completed request into the histograms — the global
+// set always, the owning tenant's set too when EnableTenants is active.
 //
 //flashvet:hotpath
-func (m *ReplayMetrics) observe(op trace.Op, latency, delay time.Duration) {
+func (m *ReplayMetrics) observe(op trace.Op, tenant uint8, latency, delay time.Duration) {
 	if op == trace.OpWrite {
 		m.WriteLatency.Observe(latency)
 	} else {
@@ -568,6 +688,21 @@ func (m *ReplayMetrics) observe(op trace.Op, latency, delay time.Duration) {
 	if m.QueueDelay != nil {
 		m.QueueDelay.Observe(delay)
 	}
+	if m.tenants == nil {
+		return
+	}
+	t := int(tenant)
+	if t >= len(m.tenants) {
+		t = len(m.tenants) - 1
+	}
+	ts := &m.tenants[t]
+	ts.ops++
+	if op == trace.OpWrite {
+		ts.write.Observe(latency)
+	} else {
+		ts.read.Observe(latency)
+	}
+	ts.delay.Observe(delay)
 }
 
 // ReplayOptions selects the host queueing model of a measured replay.
@@ -578,6 +713,12 @@ type ReplayOptions struct {
 	// OpenLoop issues requests at their trace arrival times instead of
 	// generating the next request when a queue slot frees.
 	OpenLoop bool
+	// Tenants is the replay's tenant population. Above 1, the replay
+	// announces each request's tenant to the FTL right before issuing it
+	// (through the optional SetTenant method ftl.Base provides), so
+	// tenant-aware dispatch sees the owner of every allocation the
+	// request triggers. 0 and 1 skip the announcement entirely.
+	Tenants int
 }
 
 // Replay feeds every request of the stream through the FTL, splitting
@@ -652,6 +793,15 @@ func ReplayQueued(f ftl.FTL, src trace.Stream, m *ReplayMetrics, opts ReplayOpti
 	if qd < 1 {
 		qd = 1
 	}
+	// Resolve the tenant announcement target once: on multi-tenant runs
+	// every issue tells the FTL which tenant it is about to serve, so the
+	// dispatch policy can route the request's allocations (and the GC
+	// they cascade into) to that tenant's chips. Single-tenant runs leave
+	// setTenant nil and take the pre-tenant path byte for byte.
+	var setTenant interface{ SetTenant(int) }
+	if opts.Tenants > 1 {
+		setTenant, _ = f.(interface{ SetTenant(int) })
+	}
 	wallStart := time.Now() //flashvet:wallclock — host-speed metric only; Canonical() masks Wall out of determinism comparisons
 	var (
 		events      sched.Queue
@@ -721,13 +871,16 @@ func ReplayQueued(f ftl.FTL, src trace.Stream, m *ReplayMetrics, opts ReplayOpti
 				issue = curArrival
 			}
 			r := cur
+			if setTenant != nil {
+				setTenant.SetTenant(int(r.Tenant))
+			}
 			dev.BeginBurst()
 			if err := issueRequest(f, r, pageSize); err != nil {
 				return err
 			}
 			if dev.BurstOps() > 0 {
 				fin := dev.BurstFinish()
-				m.observe(r.Op, fin-issue, dev.BurstStart()-issue)
+				m.observe(r.Op, r.Tenant, fin-issue, dev.BurstStart()-issue)
 				events.Push(sched.Event{Time: fin, Kind: sched.KindCompletion})
 				pending++
 			}
@@ -783,7 +936,7 @@ func replayRequest(f ftl.FTL, r trace.Request, pageSize int, m *ReplayMetrics) e
 	}
 	if dev.BurstOps() > 0 {
 		fin := dev.BurstFinish()
-		m.observe(r.Op, fin-issue, dev.BurstStart()-issue)
+		m.observe(r.Op, r.Tenant, fin-issue, dev.BurstStart()-issue)
 		dev.AdvanceTo(fin)
 	}
 	return nil
@@ -845,6 +998,12 @@ func collect(spec RunSpec, f ftl.FTL, eraseBase uint64, relBase nand.Reliability
 		res.ReplayWall = rm.Wall
 		if s := rm.Wall.Seconds(); s > 0 {
 			res.WallEventsPerSec = float64(rm.Events) / s
+		}
+		if n := rm.TenantCount(); n > 0 {
+			res.TenantCount = n
+			for t := 0; t < n; t++ {
+				res.Tenants[t] = rm.TenantResult(t)
+			}
 		}
 	}
 	if reads := st.FastReads.Value() + st.SlowReads.Value(); reads > 0 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ppbflash/internal/nand"
+	"ppbflash/internal/trace"
 	"ppbflash/internal/workload"
 )
 
@@ -104,6 +105,109 @@ func (s Scale) WebSQLWorkload() WorkloadBuilder {
 			Requests:     s.requestsFor(logicalBytes, websqlWriteBytesPerReq),
 			Seed:         s.Seed,
 		})
+	}
+}
+
+// tenantRegionAlign keeps per-tenant address regions aligned so region
+// boundaries never split a page at any evaluated page size.
+const tenantRegionAlign = 1 << 20
+
+// Approximate write bytes per request of the two synthetic tenants in
+// the roster, derived like the trace constants above (write fraction
+// times request size).
+const (
+	hotTenantWriteBytesPerReq  = 0.7 * 4096   // 4 KiB requests, 70% writes
+	coldTenantWriteBytesPerReq = 0.2 * 262144 // 256 KiB requests, 20% writes
+)
+
+// tenantGenerator builds tenant i's request source over its own region:
+// the roster cycles websql (small skewed transactions), mediaserver
+// (large sequential streams), a hot synthetic mix (4 KiB, write-heavy)
+// and a cold one (256 KiB, read-heavy), so any adjacent pair of tenants
+// stresses the device differently. Each tenant gets its own seed
+// (s.Seed+i) and is sized for the scale's write turnover on its region.
+func (s Scale) tenantGenerator(i int, regionBytes uint64) workload.Generator {
+	switch i % 4 {
+	case 0:
+		return workload.NewWebSQL(workload.WebSQLConfig{
+			LogicalBytes: regionBytes,
+			Requests:     s.requestsFor(regionBytes, websqlWriteBytesPerReq),
+			Seed:         s.Seed + int64(i),
+		})
+	case 1:
+		return workload.NewMediaServer(workload.MediaConfig{
+			LogicalBytes: regionBytes,
+			Requests:     s.requestsFor(regionBytes, mediaWriteBytesPerReq),
+			Seed:         s.Seed + int64(i),
+		})
+	case 2:
+		return workload.NewUniform(workload.UniformConfig{
+			LogicalBytes: regionBytes,
+			Requests:     s.requestsFor(regionBytes, hotTenantWriteBytesPerReq),
+			Seed:         s.Seed + int64(i),
+			ReadFraction: 0.3,
+			Size:         4 << 10,
+		})
+	default:
+		return workload.NewUniform(workload.UniformConfig{
+			LogicalBytes: regionBytes,
+			Requests:     s.requestsFor(regionBytes, coldTenantWriteBytesPerReq),
+			Seed:         s.Seed + int64(i),
+			ReadFraction: 0.8,
+			Size:         256 << 10,
+		})
+	}
+}
+
+// TenantWorkloads returns a builder for an n-tenant composite workload:
+// the logical space is carved into n equal aligned regions, tenant i
+// replays its own generator (see tenantGenerator's roster) inside region
+// i, and a trace.Compositor merges the streams closed-loop with equal
+// shares — round-robin interleaving, each request stamped with its
+// tenant ID and shifted into its region. Pair it with RunSpec.Tenants =
+// n so the replay and FTL see the population.
+//
+// n <= 1 wraps the plain websql trace (full space, the scale's seed) in
+// a compositor-of-one with no transforms: the emitted stream is
+// byte-identical to WebSQLWorkload's, which is the identity the
+// single-tenant bit-compatibility ladder pins. n is capped at
+// trace.MaxTenants.
+func (s Scale) TenantWorkloads(n int) WorkloadBuilder {
+	if n > trace.MaxTenants {
+		n = trace.MaxTenants
+	}
+	return func(logicalBytes uint64) workload.Generator {
+		var children []trace.CompositorChild
+		if n <= 1 {
+			children = []trace.CompositorChild{{
+				Stream: workload.NewWebSQL(workload.WebSQLConfig{
+					LogicalBytes: logicalBytes,
+					Requests:     s.requestsFor(logicalBytes, websqlWriteBytesPerReq),
+					Seed:         s.Seed,
+				}),
+			}}
+		} else {
+			region := (logicalBytes / uint64(n)) &^ (tenantRegionAlign - 1)
+			children = make([]trace.CompositorChild, n)
+			for i := 0; i < n; i++ {
+				children[i] = trace.CompositorChild{
+					Stream:     s.tenantGenerator(i, region),
+					Tenant:     uint8(i),
+					Share:      1,
+					AddrOffset: uint64(i) * region,
+				}
+			}
+		}
+		comp := trace.NewCompositor(children...)
+		name := "websql"
+		if n > 1 {
+			name = fmt.Sprintf("tenant-mix-%d", n)
+		}
+		return &workload.Func{
+			WorkloadName: name,
+			Bytes:        logicalBytes,
+			NextFunc:     comp.Next,
+		}
 	}
 }
 

@@ -171,12 +171,15 @@ type Device struct {
 	// Suspend-resume state (see SetSuspend): the active policy and its
 	// costs, the per-plane in-flight op records reads probe for a
 	// preemption target (nil while SuspendOff), the monotone suspension
-	// counter, and the event-replay hook told about every suspension.
+	// counter, its per-block breakdown (nil while SuspendOff; monotone
+	// like suspends — ResetClocks leaves both alone), and the
+	// event-replay hook told about every suspension.
 	suspendPol    SuspendPolicy
 	suspendCost   time.Duration
 	resumeCost    time.Duration
 	inflight      []inflightOp
 	suspends      uint64
+	suspendCnt    []uint32
 	suspendNotify func(chip int, at, resumeAt time.Duration)
 
 	// Deferred-erase state (see SetEraseDeferral): deferWindow > 0
@@ -286,7 +289,7 @@ func (d *Device) schedule(b BlockID, cost time.Duration, kind opKind) time.Durat
 	}
 	fin := start + cost
 	d.bookFinish(chip, plane, fin)
-	d.recordInflight(chip, plane, kind, start, fin)
+	d.recordInflight(chip, plane, kind, b, start, fin)
 	d.lastStart = start
 	d.lastFinish = fin
 	if !d.burstValid || start < d.burstStart {
@@ -431,7 +434,7 @@ func (d *Device) bookDeferred(chip int, e deferredErase) {
 	start := d.bookStart(chip, plane, e.arm)
 	fin := start + e.cost
 	d.bookFinish(chip, plane, fin)
-	d.recordInflight(chip, plane, opErase, start, fin)
+	d.recordInflight(chip, plane, opErase, e.block, start, fin)
 }
 
 // FlushDeferredErases commits every pending deferred erase at its chip's

@@ -71,15 +71,27 @@ func SuspendByName(name string) (SuspendPolicy, error) {
 }
 
 // inflightOp tracks the most recent suspendable operation booked on one
-// plane: its kind and the [start, fin) interval it currently occupies.
-// fin == 0 means no record. A record goes stale the moment anything is
-// booked behind it (the plane clock moves past fin), which trySuspend
-// detects without explicit invalidation.
+// plane: its kind, the block it targets (so a suspension can be charged
+// to that block's per-block count) and the [start, fin) interval it
+// currently occupies. fin == 0 means no record. A record goes stale the
+// moment anything is booked behind it (the plane clock moves past fin),
+// which trySuspend detects without explicit invalidation.
 type inflightOp struct {
 	kind  opKind
+	block BlockID
 	start time.Duration
 	fin   time.Duration
 }
+
+// SuspendRetireThreshold is the per-block suspension count at which an
+// erase-suspended block is flagged as a retire candidate when the
+// reliability model is active: a block whose erases keep getting
+// preempted is both heavily erased and sitting under a hot read region,
+// the combination the ROADMAP's a8↔a9 follow-up wants taken out of
+// service early. Flagging goes through the same retire queue the
+// error-rate path uses (Device.RetireRecommended / GC retirement), so
+// with the reliability model off the count is purely diagnostic.
+const SuspendRetireThreshold = 8
 
 // SetReorderWindow bounds how far before its chip's busiest plane drains
 // an operation on another plane may start (multi-plane overlap). Zero
@@ -107,12 +119,26 @@ func (d *Device) SetSuspend(policy SuspendPolicy, suspendCost, resumeCost time.D
 	if policy != SuspendOff && d.inflight == nil {
 		d.inflight = make([]inflightOp, d.cfg.Chips*d.planes)
 	}
+	if policy != SuspendOff && d.suspendCnt == nil {
+		d.suspendCnt = make([]uint32, len(d.blocks))
+	}
 }
 
 // Suspends returns how many times a read has suspended an in-flight
 // operation. Monotone like the device stats; the harness diffs it
 // around the measured window.
 func (d *Device) Suspends() uint64 { return d.suspends }
+
+// SuspendsOf returns how many times block b's in-flight operations have
+// been suspended (zero with SuspendOff, for out-of-range blocks, and
+// for blocks never preempted). Monotone like Suspends; ResetClocks
+// leaves it alone.
+func (d *Device) SuspendsOf(b BlockID) uint32 {
+	if d.suspendCnt == nil || int(b) >= len(d.suspendCnt) {
+		return 0
+	}
+	return d.suspendCnt[b]
+}
 
 // SetSuspendNotify registers fn to be called whenever a read suspends an
 // in-flight operation, with the chip, the suspension time and the time
@@ -227,6 +253,15 @@ func (d *Device) trySuspend(chip, plane int, issue, cost, normalStart time.Durat
 	rec.start, rec.fin = resumeAt, newFin
 	d.bookFinish(chip, plane, newFin)
 	d.suspends++
+	if int(rec.block) < len(d.suspendCnt) {
+		d.suspendCnt[rec.block]++
+		// An erase that keeps getting preempted marks its block as a
+		// retire candidate once the reliability model is there to retire
+		// it; without the model the count stays diagnostic (SuspendsOf).
+		if d.rel != nil && rec.kind == opErase && d.suspendCnt[rec.block] >= SuspendRetireThreshold {
+			d.rel.flagRetire(rec.block)
+		}
+	}
 	if d.suspendNotify != nil {
 		d.suspendNotify(chip, issue, resumeAt)
 	}
@@ -239,9 +274,9 @@ func (d *Device) trySuspend(chip, plane int, issue, cost, normalStart time.Durat
 // plane-clock check.
 //
 //flashvet:hotpath
-func (d *Device) recordInflight(chip, plane int, kind opKind, start, fin time.Duration) {
+func (d *Device) recordInflight(chip, plane int, kind opKind, b BlockID, start, fin time.Duration) {
 	if d.inflight == nil || !d.suspendable(kind) {
 		return
 	}
-	d.inflight[chip*d.planes+plane] = inflightOp{kind: kind, start: start, fin: fin}
+	d.inflight[chip*d.planes+plane] = inflightOp{kind: kind, block: b, start: start, fin: fin}
 }

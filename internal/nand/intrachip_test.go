@@ -461,3 +461,75 @@ func TestDeferredCommitPathEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// TestSuspendsOfCountsAndFlagsRetire: every suspension is charged to
+// the preempted block (SuspendsOf), and once a block's erases have been
+// preempted SuspendRetireThreshold times under an active reliability
+// model it lands in the retire queue — the ROADMAP's "suspended erases
+// on nearly-dead blocks" follow-up. Without the reliability model the
+// count is purely diagnostic and nothing is flagged.
+func TestSuspendsOfCountsAndFlagsRetire(t *testing.T) {
+	const sc, rc = 25 * time.Microsecond, 25 * time.Microsecond
+	run := func(withModel bool) *Device {
+		d := MustNewDevice(testConfig())
+		d.SetSuspend(SuspendErase, sc, rc)
+		if withModel {
+			// A vanishingly small error rate under a huge ECC budget:
+			// the model is active (so flagging works) but never injects
+			// a retry into this test's reads.
+			quiet := ReliabilityConfig{
+				Enabled:       true,
+				BaseBER:       1e-12,
+				ECCCorrectBER: 1,
+				RetryStepBER:  1,
+				MaxRetries:    1,
+			}
+			if err := d.SetReliability(quiet, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < SuspendRetireThreshold; i++ {
+			readable := d.cfg.PPNForBlockPage(0, i)
+			if _, err := d.Program(readable, OOB{LPN: uint64(i) + 1}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := d.EraseForce(1); err != nil {
+				t.Fatal(err)
+			}
+			eraseStart, eraseFin := d.LastStart(), d.LastFinish()
+			d.AdvanceTo(eraseStart + (eraseFin-eraseStart)/2)
+			if _, _, err := d.Read(readable); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return d
+	}
+
+	d := run(true)
+	if got := d.Suspends(); got != SuspendRetireThreshold {
+		t.Fatalf("suspends = %d, want %d", got, SuspendRetireThreshold)
+	}
+	if got := d.SuspendsOf(1); got != SuspendRetireThreshold {
+		t.Errorf("SuspendsOf(1) = %d, want %d", got, SuspendRetireThreshold)
+	}
+	if got := d.SuspendsOf(0); got != 0 {
+		t.Errorf("SuspendsOf(0) = %d, want 0 (block 0 was never preempted)", got)
+	}
+	if got := d.SuspendsOf(BlockID(1 << 20)); got != 0 {
+		t.Errorf("SuspendsOf(out of range) = %d, want 0", got)
+	}
+	if !d.RetireRecommended(1) {
+		t.Error("block 1 not flagged for retirement after repeated erase suspensions")
+	}
+	if b, ok := d.NextRetireCandidate(); !ok || b != 1 {
+		t.Errorf("NextRetireCandidate = (%d, %v), want (1, true)", b, ok)
+	}
+
+	diag := run(false)
+	if got := diag.SuspendsOf(1); got != SuspendRetireThreshold {
+		t.Errorf("model off: SuspendsOf(1) = %d, want %d (count stays diagnostic)", got, SuspendRetireThreshold)
+	}
+	if diag.RetireRecommended(1) {
+		t.Error("model off: nothing should be flagged for retirement")
+	}
+}

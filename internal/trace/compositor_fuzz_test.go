@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzCompositor feeds the compositor adversarial child streams decoded
+// from the fuzz input — byte pairs of (child selector, signed time
+// delta), so negative deltas manufacture exactly the non-monotone
+// source times real traces occasionally carry — and checks the
+// invariants every replay depends on: no panic, request-count
+// conservation, globally non-decreasing merged times, and Err latched
+// if and only if some child's raw times regressed.
+func FuzzCompositor(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 0, 3, 2, 1})
+	f.Add([]byte{0, 5, 0, 0x80, 0, 5}) // 0x80 = -128: a regression
+	f.Add([]byte{1, 0, 1, 0, 0, 0})    // all-tie merge
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const kids = 3
+		var (
+			reqs    [kids][]Request
+			clock   [kids]time.Duration
+			maxSeen [kids]time.Duration
+			badRaw  bool
+		)
+		for i := 0; i+1 < len(data); i += 2 {
+			k := int(data[i]) % kids
+			delta := time.Duration(int8(data[i+1])) * time.Millisecond
+			clock[k] += delta
+			// maxSeen starts at 0, matching the compositor's clamp floor:
+			// a negative first time is a contract violation too.
+			if clock[k] < maxSeen[k] {
+				badRaw = true
+			}
+			if clock[k] > maxSeen[k] {
+				maxSeen[k] = clock[k]
+			}
+			reqs[k] = append(reqs[k], Request{
+				Time:   clock[k],
+				Op:     Op(data[i] % 2),
+				Offset: uint64(len(reqs[k])) * 4096,
+				Size:   4096,
+			})
+		}
+		total := 0
+		children := make([]CompositorChild, kids)
+		for k := 0; k < kids; k++ {
+			children[k] = CompositorChild{Stream: NewSliceStream(reqs[k]), Tenant: uint8(k)}
+			total += len(reqs[k])
+		}
+		comp := NewCompositor(children...)
+		var (
+			got  int
+			last time.Duration
+		)
+		for {
+			r, ok := comp.Next()
+			if !ok {
+				break
+			}
+			if got > 0 && r.Time < last {
+				t.Fatalf("merged output went back in time: %v after %v", r.Time, last)
+			}
+			last = r.Time
+			got++
+		}
+		if got != total {
+			t.Fatalf("merged %d requests, children held %d", got, total)
+		}
+		if gotErr := comp.Err() != nil; gotErr != badRaw {
+			t.Fatalf("Err() = %v, but raw regression = %v", comp.Err(), badRaw)
+		}
+	})
+}

@@ -50,7 +50,22 @@ type Request struct {
 	// history), which is the paper's whole premise — and trace file
 	// formats do not carry it.
 	Hot bool
+	// Tenant identifies the stream a request belongs to in a
+	// multi-tenant replay: the Compositor stamps each merged request
+	// with its child's tenant ID so the harness can attribute latency
+	// and queue delay to the owning tenant and the FTL can partition
+	// chip dispatch. Single-stream readers and generators leave it 0,
+	// which is also tenant 0 of a composite — the single-tenant replay
+	// path is bit-identical either way. IDs at or above MaxTenants fold
+	// into the last per-tenant accounting slot.
+	Tenant uint8
 }
+
+// MaxTenants bounds how many tenants per-tenant accounting tracks
+// (Stats.TenantRequests, harness Result.Tenants). Composites may carry
+// more tenant IDs, but counters fold IDs >= MaxTenants into the last
+// slot, the same way the GC pool counters fold deep pools.
+const MaxTenants = 8
 
 // End returns the first byte offset after the request.
 func (r Request) End() uint64 { return r.Offset + uint64(r.Size) }
@@ -89,11 +104,20 @@ type Stats struct {
 	MaxEnd      uint64
 	SmallWrites int // writes below 16 KB, the size-check hot signal
 	HotTagged   int // requests the generator tagged as hot-stream
+	// TenantRequests counts requests per tenant ID; IDs >= MaxTenants
+	// fold into the last slot. A single-tenant stream lands entirely in
+	// slot 0.
+	TenantRequests [MaxTenants]int
 }
 
 // Observe folds one request into the stats.
 func (s *Stats) Observe(r Request) {
 	s.Requests++
+	t := int(r.Tenant)
+	if t >= MaxTenants {
+		t = MaxTenants - 1
+	}
+	s.TenantRequests[t]++
 	if r.Hot {
 		s.HotTagged++
 	}

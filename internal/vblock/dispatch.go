@@ -98,7 +98,11 @@ type HotColdAffinity struct {
 // Name implements DispatchPolicy.
 func (HotColdAffinity) Name() string { return "hotcold-affinity" }
 
-// PickChip implements DispatchPolicy.
+// PickChip implements DispatchPolicy. On a multi-tenant manager
+// (Manager.SetTenants >= 2) the chosen hot or cold subset is further
+// sliced per tenant — tenant affinity within the temperature affinity —
+// falling back to the whole subset and then to all chips as slices
+// drain; single-tenant managers take the pre-tenant path untouched.
 func (h HotColdAffinity) PickChip(m *Manager, pool int) int {
 	chips := m.Chips()
 	hot := h.HotChips
@@ -118,10 +122,63 @@ func (h HotColdAffinity) PickChip(m *Manager, pool int) int {
 	if lo >= hi { // no cold chips left (HotChips covers the device)
 		lo, hi = 0, chips
 	}
+	if n := m.Tenants(); n > 1 && hi-lo > 1 {
+		tlo, thi := tenantRange(lo, hi, m.ActiveTenant(), n)
+		if chip := leastLoadedIn(m, tlo, thi); chip >= 0 {
+			return chip
+		}
+	}
 	if chip := leastLoadedIn(m, lo, hi); chip >= 0 {
 		return chip
 	}
 	return leastLoadedIn(m, 0, chips) // subset drained: widen
+}
+
+// TenantPartition carves the chips into contiguous per-tenant ranges —
+// tenant t of n owns [t*chips/n, (t+1)*chips/n) — and dispatches every
+// allocation the manager's active tenant triggers (host writes and the
+// GC they cascade into) onto that tenant's own chips, the hard-isolation
+// answer to "does tenant A's GC wreck tenant B's read p99?". Within the
+// partition the earliest-free chip wins; a drained partition widens to
+// all chips rather than failing, trading isolation for not stranding
+// free space. With fewer than two tenants declared (or one chip) it
+// behaves exactly like LeastLoaded.
+type TenantPartition struct{}
+
+// Name implements DispatchPolicy.
+func (TenantPartition) Name() string { return "tenant-partition" }
+
+// PickChip implements DispatchPolicy.
+func (TenantPartition) PickChip(m *Manager, pool int) int {
+	n := m.Tenants()
+	chips := m.Chips()
+	if n <= 1 || chips <= 1 {
+		return LeastLoaded{}.PickChip(m, pool)
+	}
+	lo, hi := tenantRange(0, chips, m.ActiveTenant(), n)
+	if chip := leastLoadedIn(m, lo, hi); chip >= 0 {
+		return chip
+	}
+	return leastLoadedIn(m, 0, chips) // partition drained: widen
+}
+
+// tenantRange slices [lo, hi) into n contiguous tenant shares and
+// returns tenant t's, always at least one chip wide: with more tenants
+// than chips, neighbors share.
+func tenantRange(lo, hi, t, n int) (int, int) {
+	span := hi - lo
+	tlo := lo + t*span/n
+	thi := lo + (t+1)*span/n
+	if thi <= tlo {
+		thi = tlo + 1
+	}
+	if thi > hi {
+		thi = hi
+	}
+	if tlo >= hi {
+		tlo = hi - 1
+	}
+	return tlo, thi
 }
 
 // leastLoadedIn returns the chip in [lo, hi) with free blocks whose
@@ -148,7 +205,7 @@ func leastLoadedIn(m *Manager, lo, hi int) int {
 }
 
 // DispatchPolicyNames lists the built-in policies in presentation order.
-var DispatchPolicyNames = []string{Striped{}.Name(), LeastLoaded{}.Name(), HotColdAffinity{}.Name()}
+var DispatchPolicyNames = []string{Striped{}.Name(), LeastLoaded{}.Name(), HotColdAffinity{}.Name(), TenantPartition{}.Name()}
 
 // DispatchByName resolves a built-in dispatch policy from its Name()
 // (the spelling RunSpec.Dispatch and flashsim -dispatch accept).
@@ -160,7 +217,9 @@ func DispatchByName(name string) (DispatchPolicy, error) {
 		return LeastLoaded{}, nil
 	case HotColdAffinity{}.Name(), "hotcold":
 		return HotColdAffinity{}, nil
+	case TenantPartition{}.Name():
+		return TenantPartition{}, nil
 	default:
-		return nil, fmt.Errorf("vblock: unknown dispatch policy %q (want striped, least-loaded or hotcold-affinity)", name)
+		return nil, fmt.Errorf("vblock: unknown dispatch policy %q (want striped, least-loaded, hotcold-affinity or tenant-partition)", name)
 	}
 }

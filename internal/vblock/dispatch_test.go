@@ -278,3 +278,145 @@ func TestStripedBoundedOnDrainedPools(t *testing.T) {
 		t.Errorf("AllocateFirst with corrupt accounting = %v, want loud corruption error", err)
 	}
 }
+
+// TestTenantPartitionOwnsRanges: with n tenants over c chips, tenant t's
+// allocations land in its contiguous range [t*c/n, (t+1)*c/n), idlest
+// chip first within the range.
+func TestTenantPartitionOwnsRanges(t *testing.T) {
+	m := dispatchManager(t, 4, 1)
+	m.SetTenants(2)
+	m.SetDispatch(TenantPartition{}, fakeClock{time.Millisecond, 0, time.Millisecond, 0})
+	m.SetActiveTenant(0)
+	vb, err := m.AllocateFirst(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.chipOf(vb.Block); got != 1 {
+		t.Errorf("tenant 0 allocated on chip %d, want idlest owned chip 1", got)
+	}
+	m.SetActiveTenant(1)
+	vb, err = m.AllocateFirst(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.chipOf(vb.Block); got != 3 {
+		t.Errorf("tenant 1 allocated on chip %d, want idlest owned chip 3", got)
+	}
+	// A stray tenant ID clamps to the last tenant instead of breaking out
+	// of the chip range.
+	m.SetActiveTenant(99)
+	vb, err = m.AllocateFirst(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.chipOf(vb.Block); got != 3 {
+		t.Errorf("clamped tenant allocated on chip %d, want 3", got)
+	}
+}
+
+// TestTenantPartitionWidensWhenDrained: a drained partition spills onto
+// the other tenants' chips rather than failing the allocation.
+func TestTenantPartitionWidensWhenDrained(t *testing.T) {
+	m := dispatchManager(t, 2, 1)
+	m.SetTenants(2)
+	m.SetDispatch(TenantPartition{}, fakeClock{0, 0})
+	m.SetActiveTenant(0)
+	perChip := m.cfg.BlocksPerChip
+	for i := 0; i < perChip; i++ {
+		vb, err := m.AllocateFirst(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.chipOf(vb.Block) != 0 {
+			t.Fatalf("tenant 0 allocation %d on chip %d, want 0", i, m.chipOf(vb.Block))
+		}
+	}
+	vb, err := m.AllocateFirst(0) // partition drained: widen
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.chipOf(vb.Block); got != 1 {
+		t.Errorf("overflow allocation on chip %d, want widened 1", got)
+	}
+}
+
+// TestTenantPartitionSingleTenantMatchesLeastLoaded: without a declared
+// tenant population the policy is exactly LeastLoaded — the identity the
+// single-tenant bit-identity ladder rests on.
+func TestTenantPartitionSingleTenantMatchesLeastLoaded(t *testing.T) {
+	clock := fakeClock{3 * time.Millisecond, time.Millisecond, 2 * time.Millisecond}
+	part := dispatchManager(t, 3, 1)
+	part.SetDispatch(TenantPartition{}, clock)
+	ll := dispatchManager(t, 3, 1)
+	ll.SetDispatch(LeastLoaded{}, clock)
+	for i := 0; i < part.cfg.TotalBlocks(); i++ {
+		a, err := part.AllocateFirst(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ll.AllocateFirst(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Block != b.Block {
+			t.Fatalf("allocation %d: tenant-partition block %d, least-loaded block %d", i, a.Block, b.Block)
+		}
+	}
+}
+
+// TestHotColdAffinityTenantSlicing: on a multi-tenant manager the hot
+// and cold subsets are sliced per tenant; with tenants undeclared the
+// subset is shared exactly as before.
+func TestHotColdAffinityTenantSlicing(t *testing.T) {
+	m := dispatchManager(t, 4, 2)
+	m.MarkHotPools(0)
+	m.SetTenants(2)
+	// Hot subset = chips {0,1}, cold = {2,3}; chip 0 and 2 idle.
+	m.SetDispatch(HotColdAffinity{HotChips: 2}, fakeClock{0, 0, 0, 0})
+	m.SetActiveTenant(1)
+	hot, err := m.AllocateFirst(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.chipOf(hot.Block); got != 1 {
+		t.Errorf("tenant 1 hot allocation on chip %d, want its hot slice chip 1", got)
+	}
+	cold, err := m.AllocateFirst(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.chipOf(cold.Block); got != 3 {
+		t.Errorf("tenant 1 cold allocation on chip %d, want its cold slice chip 3", got)
+	}
+	m.SetActiveTenant(0)
+	hot, err = m.AllocateFirst(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.chipOf(hot.Block); got != 0 {
+		t.Errorf("tenant 0 hot allocation on chip %d, want its hot slice chip 0", got)
+	}
+}
+
+// TestTenantRange pins the slicing math, including the more-tenants-
+// than-chips case where neighbors share a chip.
+func TestTenantRange(t *testing.T) {
+	for _, tc := range []struct {
+		lo, hi, t, n   int
+		wantLo, wantHi int
+	}{
+		{0, 4, 0, 2, 0, 2},
+		{0, 4, 1, 2, 2, 4},
+		{2, 4, 0, 2, 2, 3},
+		{2, 4, 1, 2, 3, 4},
+		{0, 2, 0, 4, 0, 1}, // more tenants than chips: share
+		{0, 2, 3, 4, 1, 2},
+		{0, 3, 1, 2, 1, 3},
+	} {
+		lo, hi := tenantRange(tc.lo, tc.hi, tc.t, tc.n)
+		if lo != tc.wantLo || hi != tc.wantHi {
+			t.Errorf("tenantRange(%d, %d, t%d/%d) = [%d, %d), want [%d, %d)",
+				tc.lo, tc.hi, tc.t, tc.n, lo, hi, tc.wantLo, tc.wantHi)
+		}
+	}
+}

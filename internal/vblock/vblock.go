@@ -126,6 +126,15 @@ type Manager struct {
 	clock   ChipClock
 	hotPool []bool
 
+	// Tenant state for multi-tenant dispatch: tenants is the tenant
+	// count declared through SetTenants (0 or 1 = single-tenant, the
+	// pre-tenant behavior of every policy), active is the tenant the FTL
+	// says the current request belongs to (SetActiveTenant). Both are
+	// consulted by TenantPartition and HotColdAffinity only, so leaving
+	// them at zero is bit-identical to the pre-tenant manager.
+	tenants int
+	active  int
+
 	buckets []int32 // victim index: bucket heads by invalid count
 	maxInv  int     // upper bound on the highest occupied bucket
 }
@@ -216,6 +225,45 @@ func (m *Manager) PlaneOf(b nand.BlockID) int {
 // Clock returns the per-chip clock view installed by SetDispatch (nil
 // when none was given), for custom clock-aware dispatch policies.
 func (m *Manager) Clock() ChipClock { return m.clock }
+
+// SetTenants declares how many tenants share the device, enabling the
+// tenant-aware dispatch behaviors (TenantPartition's per-tenant chip
+// ranges, HotColdAffinity's intra-subset tenant slicing). Values below
+// 2 restore the single-tenant behavior every policy had before tenants
+// existed.
+func (m *Manager) SetTenants(n int) {
+	if n < 0 {
+		n = 0
+	}
+	m.tenants = n
+}
+
+// Tenants returns the declared tenant count (0 or 1 = single-tenant).
+func (m *Manager) Tenants() int { return m.tenants }
+
+// SetActiveTenant tells the manager which tenant the request currently
+// being served belongs to, so allocations it triggers — host writes and
+// any GC they cascade into — dispatch under that tenant's placement.
+// The FTL sets it per request; values are clamped into [0, Tenants())
+// at use, so a stray ID degrades to the last tenant instead of
+// corrupting dispatch.
+func (m *Manager) SetActiveTenant(t int) { m.active = t }
+
+// ActiveTenant returns the tenant the current request belongs to,
+// clamped into [0, Tenants()) (0 when single-tenant).
+func (m *Manager) ActiveTenant() int {
+	if m.tenants <= 1 {
+		return 0
+	}
+	t := m.active
+	if t < 0 {
+		t = 0
+	}
+	if t >= m.tenants {
+		t = m.tenants - 1
+	}
+	return t
+}
 
 // MarkHotPools declares which pools carry hot-stream data (host-facing
 // frequently rewritten traffic). FTLs call it once at construction;

@@ -121,11 +121,15 @@ type (
 	// HotColdAffinity pins hot-stream pools to a chip subset so cold GC
 	// traffic does not queue behind hot host writes.
 	HotColdAffinity = vblock.HotColdAffinity
+	// TenantPartition carves the chips into contiguous per-tenant ranges
+	// and confines each tenant's allocations — and the GC they cascade
+	// into — to its own range (multi-tenant QoS isolation).
+	TenantPartition = vblock.TenantPartition
 )
 
 // DispatchByName resolves a built-in dispatch policy from its name
-// ("striped", "least-loaded", "hotcold-affinity") — the spelling
-// RunSpec.Dispatch and flashsim -dispatch accept.
+// ("striped", "least-loaded", "hotcold-affinity", "tenant-partition") —
+// the spelling RunSpec.Dispatch and flashsim -dispatch accept.
 func DispatchByName(name string) (DispatchPolicy, error) { return vblock.DispatchByName(name) }
 
 // DispatchPolicyNames lists the built-in dispatch policies in
@@ -260,7 +264,24 @@ type (
 	MediaServerConfig = workload.MediaConfig
 	// WebSQLConfig parameterizes the web/SQL stand-in trace.
 	WebSQLConfig = workload.WebSQLConfig
+	// Compositor merges N tenant streams into one multi-tenant Stream,
+	// ordered by arrival time with a deterministic tie-break; each child
+	// carries its own arrival process (timed, rate-scaled, offset, or
+	// closed-loop weighted shares) and address region.
+	Compositor = trace.Compositor
+	// CompositorChild configures one tenant stream of a Compositor.
+	CompositorChild = trace.CompositorChild
 )
+
+// MaxTenants is the per-run tenant accounting capacity: tenant IDs at or
+// beyond it fold into the last accounting slot.
+const MaxTenants = trace.MaxTenants
+
+// NewCompositor builds a multi-tenant stream compositor over the given
+// children (merged in slice order on arrival-time ties).
+func NewCompositor(children ...CompositorChild) *Compositor {
+	return trace.NewCompositor(children...)
+}
 
 // Request directions.
 const (
@@ -280,6 +301,9 @@ type (
 	RunSpec = harness.RunSpec
 	// RunResult carries the measurements of one run.
 	RunResult = harness.Result
+	// TenantResult is one tenant's share of a multi-tenant run's
+	// measurements (RunResult.Tenants on runs with RunSpec.Tenants >= 2).
+	TenantResult = harness.TenantResult
 	// Scale controls experiment size (QuickScale/BenchScale/PaperScale).
 	Scale = harness.Scale
 	// FigureResult is a regenerated paper artifact.
@@ -342,6 +366,11 @@ func NewReliabilityPageOpsFTL() (FTL, error) { return harness.NewReliabilityPage
 // and ppbench -json.
 func NewIntraChipPageOpsFTL() (FTL, error) { return harness.NewIntraChipPageOpsFTL() }
 
+// NewTenantPageOpsFTL builds the multi-tenant microbenchmark subject
+// (four chips, tenant-partition dispatch, four tenants — the a10 hot
+// paths), shared by BenchmarkCompositorEventLoop and ppbench -json.
+func NewTenantPageOpsFTL() (FTL, error) { return harness.NewTenantPageOpsFTL() }
+
 // FTLKindNames lists the FTL strategy kinds in presentation order — the
 // spellings RunSpec.Kind and flashsim -ftl accept.
 var FTLKindNames = harness.FTLKindNames
@@ -380,14 +409,23 @@ func ReplayQueued(f FTL, src Stream, m *ReplayMetrics, opts ReplayOptions) error
 // ppbench -json's EventLoop microbenchmark.
 func RunEventLoop(f FTL, m *ReplayMetrics, n int) error { return harness.RunEventLoop(f, m, n) }
 
+// RunCompositorEventLoop replays n synthetic requests from a four-tenant
+// stream compositor through the measured replay with per-tenant
+// attribution and dispatch active — the shared body of
+// BenchmarkCompositorEventLoop and ppbench -json's CompositorEventLoop
+// microbenchmark.
+func RunCompositorEventLoop(f FTL, m *ReplayMetrics, n int) error {
+	return harness.RunCompositorEventLoop(f, m, n)
+}
+
 // NewReplayMetrics builds request-latency histograms for ReplayMeasured.
 func NewReplayMetrics() *ReplayMetrics { return harness.NewReplayMetrics() }
 
 // Experiment runs one of the paper's experiments by ID ("12".."18" for
 // figures, "3" for the motivation study, "a1".."a8" for ablations — the
 // chip-parallel, queue-depth, dispatch-policy, causality/erase-deferral
-// and intra-chip parallelism sweeps — and "a9" for the
-// reliability-engine sweep).
+// and intra-chip parallelism sweeps — "a9" for the reliability-engine
+// sweep, and "a10" for the multi-tenant fairness sweep).
 func Experiment(id string, s Scale) (*FigureResult, error) {
 	fn, ok := harness.Experiments[id]
 	if !ok {
@@ -411,5 +449,5 @@ type unknownExperimentError string
 func errUnknownExperiment(id string) error { return unknownExperimentError(id) }
 
 func (e unknownExperimentError) Error() string {
-	return "ppbflash: unknown experiment " + string(e) + " (want one of 3, 12-18, a1-a9)"
+	return "ppbflash: unknown experiment " + string(e) + " (want one of 3, 12-18, a1-a10)"
 }

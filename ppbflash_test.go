@@ -93,8 +93,8 @@ func collectAll(g Generator) []Request {
 
 func TestExperimentRegistry(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 17 {
-		t.Fatalf("experiments = %d, want 17", len(ids))
+	if len(ids) != 18 {
+		t.Fatalf("experiments = %d, want 18", len(ids))
 	}
 	if _, err := Experiment("nope", QuickScale); err == nil {
 		t.Fatal("unknown experiment accepted")
